@@ -1,0 +1,73 @@
+// Command vpasm assembles an assembly source file into a program image
+// (phase #1 of the paper's tool flow, standing in for the ordinary
+// compilation step).
+//
+// Usage:
+//
+//	vpasm -o prog.vpimg prog.s
+//	vpasm -dump prog.vpimg          # disassemble an image back to text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/program"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output image path (default: source with .vpimg)")
+		name = flag.String("name", "", "program name recorded in the image (default: source basename)")
+		dump = flag.Bool("dump", false, "treat the argument as an image and print its assembly")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vpasm [-o out.vpimg] [-name prog] file.s | vpasm -dump file.vpimg")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	if *dump {
+		p, err := program.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(asm.ProgramText(p))
+		none, lv, st := p.DirectiveCounts()
+		fmt.Printf("; %d instructions (%d untagged, %d last-value, %d stride), %d data words\n",
+			len(p.Text), none, lv, st, len(p.Data))
+		return
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	progName := *name
+	if progName == "" {
+		progName = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	p, err := asm.Assemble(progName, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = strings.TrimSuffix(path, filepath.Ext(path)) + ".vpimg"
+	}
+	if err := program.Save(outPath, p); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vpasm: %s: %d instructions, %d data words → %s\n",
+		progName, len(p.Text), len(p.Data), outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpasm:", err)
+	os.Exit(1)
+}

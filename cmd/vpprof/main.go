@@ -1,0 +1,95 @@
+// Command vpprof runs the profile phase (phase #2 of figure 3.1): it
+// executes a program — a named benchmark under n training inputs, or an
+// image file — while emulating the stride predictor per instruction, and
+// writes profile image files recording each instruction's prediction
+// accuracy and stride efficiency ratio.
+//
+// Usage:
+//
+//	vpprof -bench gcc -n 5 -o gcc.prof           # merged 5-input profile
+//	vpprof -bench gcc -n 5 -split -o gcc.prof    # gcc.prof.1 … gcc.prof.5
+//	vpprof prog.vpimg -o prog.prof               # profile an image file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/profiler"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "profile a named synthetic benchmark")
+		n     = flag.Int("n", 5, "number of training inputs (benchmark mode)")
+		split = flag.Bool("split", false, "write one image per run instead of merging")
+		out   = flag.String("o", "", "output profile image path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: vpprof (-bench name [-n runs] | image.vpimg) -o out.prof")
+		os.Exit(2)
+	}
+
+	if *bench == "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("need -bench or exactly one image file"))
+		}
+		p, err := program.Load(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		col := profiler.NewCollector()
+		insts, err := workload.Run(p, col)
+		if err != nil {
+			fatal(err)
+		}
+		im := col.Image(p.Name, "image-run")
+		if err := im.SaveFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vpprof: %s: %d instructions, %d profiled → %s\n",
+			p.Name, insts, len(im.Entries), *out)
+		return
+	}
+
+	inputs := workload.TrainingInputs(*n)
+	images := make([]*profiler.Image, len(inputs))
+	for i, in := range inputs {
+		col := profiler.NewCollector()
+		insts, err := workload.BuildAndRun(*bench, in, col)
+		if err != nil {
+			fatal(err)
+		}
+		images[i] = col.Image(*bench, in.String())
+		fmt.Printf("vpprof: run %d (%s): %d instructions, %d profiled\n",
+			i+1, in, insts, len(images[i].Entries))
+		if *split {
+			path := fmt.Sprintf("%s.%d", *out, i+1)
+			if err := images[i].SaveFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("vpprof: wrote %s\n", path)
+		}
+	}
+	if *split {
+		return
+	}
+	merged, err := profiler.Merge(images...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := merged.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vpprof: merged %d runs (%d instructions) → %s\n",
+		len(images), len(merged.Entries), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpprof:", err)
+	os.Exit(1)
+}

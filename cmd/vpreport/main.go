@@ -1,0 +1,109 @@
+// Command vpreport regenerates the paper's tables and figures from the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	vpreport [-experiment id] [-n inputs] [-thresholds list]
+//
+// With -experiment all (the default), every artifact in the registry is
+// regenerated in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "experiment id (e.g. table2.1, fig4.1, table5.2) or 'all'")
+		n      = flag.Int("n", experiments.DefaultTrainInputs, "number of training inputs for profiling")
+		thresh = flag.String("thresholds", "90,80,70,60,50", "comma-separated accuracy thresholds (percent)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exts   = flag.Bool("extensions", false, "also run the extension experiments with -experiment all")
+		outDir = flag.String("o", "", "also write each artifact to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry {
+			fmt.Printf("%-13s %s\n", r.ID, r.Title)
+		}
+		for _, r := range experiments.ExtRegistry {
+			fmt.Printf("%-13s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext()
+	ctx.NumTrainInputs = *n
+	ths, err := parseThresholds(*thresh)
+	if err != nil {
+		fatal(err)
+	}
+	ctx.Thresholds = ths
+
+	runners := experiments.Registry
+	if *exts {
+		runners = append(append([]experiments.Runner{}, runners...), experiments.ExtRegistry...)
+	}
+	if *exp != "all" {
+		r, err := experiments.ByID(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		runners = []experiments.Runner{r}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.ID, err))
+		}
+		text := res.Render()
+		fmt.Println(text)
+		fmt.Printf("[%s regenerated in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			name := strings.NewReplacer(":", "_", "+", "_").Replace(r.ID) + ".txt"
+			if err := os.WriteFile(filepath.Join(*outDir, name), []byte(text+"\n"), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func parseThresholds(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil || v < 0 || v > 100 {
+			return nil, fmt.Errorf("bad threshold %q (want percent in [0,100])", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thresholds given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command vprun executes a program image or a named synthetic benchmark
+// under the functional simulator and reports execution and value-prediction
+// statistics. It is the quickest way to see a predictor/classifier
+// configuration act on a real instruction stream.
+//
+// Usage:
+//
+//	vprun -bench gcc -seed 7
+//	vprun prog.vpimg
+//	vprun -bench vortex -predictor stride -entries 512 -assoc 2 -classifier fsm
+//	vprun -bench vortex -classifier profile      # uses the image's directives
+//	vprun -bench m88ksim -trace out.vptrc        # dump the trace to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classify"
+	"repro/internal/predictor"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/vpsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "", "run a named synthetic benchmark instead of an image file")
+		seed       = flag.Uint64("seed", 1, "benchmark input seed")
+		scale      = flag.Int("scale", 1, "benchmark input scale")
+		predKind   = flag.String("predictor", "stride", "predictor: stride or lastvalue")
+		entries    = flag.Int("entries", 512, "prediction-table entries (0 = infinite)")
+		assoc      = flag.Int("assoc", 2, "prediction-table associativity")
+		classifier = flag.String("classifier", "fsm", "classifier: fsm or profile")
+		tracePath  = flag.String("trace", "", "write the dynamic trace to this file")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.AllNames() {
+			s, _ := workload.ByName(n)
+			kind := "integer"
+			if s.FP {
+				kind = "floating-point"
+			}
+			fmt.Printf("%-9s %s\n", n, kind)
+		}
+		return
+	}
+
+	var p *program.Program
+	var err error
+	switch {
+	case *bench != "":
+		p, err = workload.Build(*bench, workload.Input{Seed: *seed, Scale: *scale})
+	case flag.NArg() == 1:
+		p, err = program.Load(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vprun [-bench name | image.vpimg] [flags]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	kind := predictor.Stride
+	if *predKind == "lastvalue" {
+		kind = predictor.LastValue
+	} else if *predKind != "stride" {
+		fatal(fmt.Errorf("unknown predictor %q", *predKind))
+	}
+	var store predictor.Store
+	if *entries == 0 {
+		store = predictor.NewInfinite(kind)
+	} else {
+		t, err := predictor.NewTable(kind, predictor.TableConfig{Entries: *entries, Assoc: *assoc})
+		if err != nil {
+			fatal(err)
+		}
+		store = t
+	}
+
+	var engine *vpsim.Engine
+	switch *classifier {
+	case "fsm":
+		pol, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
+		if err != nil {
+			fatal(err)
+		}
+		engine = vpsim.NewFSMEngine(store, pol)
+	case "profile":
+		engine = vpsim.NewProfileEngine(store)
+	default:
+		fatal(fmt.Errorf("unknown classifier %q", *classifier))
+	}
+
+	consumers := []trace.Consumer{engine}
+	var tw *trace.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw, err = trace.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		consumers = append(consumers, tw)
+	}
+
+	n, err := workload.Run(p, consumers...)
+	if err != nil {
+		fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("program:            %s\n", p.Name)
+	fmt.Printf("instructions:       %d\n", n)
+	fmt.Printf("value instructions: %d\n", st.ValueInstructions)
+	fmt.Printf("classifier:         %s\n", engine.PolicyName())
+	fmt.Printf("predictor:          %s, %s\n", kind, tableDesc(*entries, *assoc))
+	fmt.Printf("candidates:         %d\n", st.Candidates)
+	fmt.Printf("table misses:       %d\n", st.Misses)
+	fmt.Printf("predictions taken:  %d (%.1f%% correct)\n",
+		st.UsedCorrect+st.UsedIncorrect, st.PredictionAccuracy())
+	fmt.Printf("  correct:          %d\n", st.UsedCorrect)
+	fmt.Printf("  incorrect:        %d\n", st.UsedIncorrect)
+	fmt.Printf("withheld correct:   %d\n", st.UnusedCorrect)
+	fmt.Printf("filtered mispred:   %d\n", st.UnusedIncorrect)
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:              %d records → %s\n", tw.Count(), *tracePath)
+	}
+}
+
+func tableDesc(entries, assoc int) string {
+	if entries == 0 {
+		return "infinite table"
+	}
+	return fmt.Sprintf("%d entries %d-way", entries, assoc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vprun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Hybrid demonstrates the two-table predictor the paper's classification
+// enables (Sections 3.1 and 6). Profiling distinguishes instructions that
+// stride from instructions that reuse their last value, so the expensive
+// two-field stride entries can be reserved for the former: a small stride
+// table plus a cheap one-field last-value table matches — on the right
+// workload beats — a monolithic stride table of much larger total cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/annotate"
+	"repro/internal/predictor"
+	"repro/internal/profiler"
+	"repro/internal/program"
+	"repro/internal/vpsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const bench = "vortex" // plenty of both stride and last-value instructions
+
+	trainIn := workload.TrainingInputs(1)[0]
+	col := profiler.NewCollector()
+	if _, err := workload.BuildAndRun(bench, trainIn, col); err != nil {
+		log.Fatal(err)
+	}
+	image := col.Image(bench, trainIn.String())
+
+	evalProg, err := workload.Build(bench, workload.EvaluationInput())
+	if err != nil {
+		log.Fatal(err)
+	}
+	annotated, ast, err := annotate.Apply(evalProg, image, annotate.DefaultOptions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at threshold %.0f%%: %d stride-tagged, %d last-value-tagged\n\n",
+		bench, annotate.DefaultOptions.AccuracyThreshold, ast.TaggedStride, ast.TaggedLastValue)
+
+	// Monolithic: one 512-entry stride table; every entry pays for a
+	// stride field (2 value-width fields per entry = 1024 field-slots).
+	mono, err := predictor.NewTable(predictor.Stride, predictor.TableConfig{Entries: 512, Assoc: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	monoStats := runEngine(annotated, vpsim.NewProfileEngine(mono))
+
+	// Hybrid: 128 stride entries (256 field-slots) + 512 last-value
+	// entries (512 field-slots) = 768 field-slots, 25% cheaper.
+	hy, err := predictor.NewHybrid(predictor.HybridConfig{
+		StrideEntries: 128, StrideAssoc: 2,
+		LastEntries: 512, LastAssoc: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hyStats := runEngine(annotated, vpsim.NewHybridEngine(hy))
+
+	fmt.Printf("%-26s %16s %16s\n", "", "monolithic 512S", "hybrid 128S+512L")
+	row := func(name string, a, b int64) {
+		fmt.Printf("%-26s %16d %16d\n", name, a, b)
+	}
+	fmt.Printf("%-26s %16d %16d\n", "stride-field slots", 2*512, 2*128)
+	fmt.Printf("%-26s %16d %16d\n", "total value-field slots", 2*512, 2*128+512)
+	row("correct predictions", monoStats.UsedCorrect, hyStats.UsedCorrect)
+	row("incorrect predictions", monoStats.UsedIncorrect, hyStats.UsedIncorrect)
+	row("table misses", monoStats.Misses, hyStats.Misses)
+	fmt.Printf("%-26s %15.1f%% %15.1f%%\n", "prediction accuracy",
+		monoStats.PredictionAccuracy(), hyStats.PredictionAccuracy())
+	fmt.Printf("\nstride table holds %d entries, last-value table %d\n",
+		hy.StrideTable.Len(), hy.LastTable.Len())
+	fmt.Println("(the stride fields are spent only on instructions that actually stride)")
+}
+
+func runEngine(p *program.Program, e *vpsim.Engine) vpsim.Stats {
+	if _, err := workload.Run(p, e); err != nil {
+		log.Fatal(err)
+	}
+	return e.Stats()
+}

@@ -1,0 +1,55 @@
+package repro
+
+// Smoke tests for the runnable examples: each must build, run to completion
+// and print its headline content. They are the repository's user-facing
+// entry points, so they are kept green by test.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	cases := map[string][]string{
+		"./examples/quickstart": {
+			"phase 2: profile image",
+			"addi.stride r1, r1, 1",
+			"hybrid predictor",
+		},
+		"./examples/tablepressure": {
+			"profile vs counters",
+			"correct predictions",
+		},
+		"./examples/hybrid": {
+			"monolithic 512S",
+			"stride table holds",
+		},
+		"./examples/inputstability": {
+			"M(V)max coordinate spread",
+			"input-stable",
+		},
+		"./examples/criticalpath": {
+			"critical path length",
+			"path predictable @90%",
+		},
+	}
+	for pkg, want := range cases {
+		pkg, want := pkg, want
+		t.Run(strings.TrimPrefix(pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", pkg, err, out)
+			}
+			for _, token := range want {
+				if !strings.Contains(string(out), token) {
+					t.Errorf("%s output missing %q:\n%s", pkg, token, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Package annotate implements the paper's third phase (figure 3.1): the
+// compiler reads the profile image and a user-supplied prediction-accuracy
+// threshold, and inserts value-predictability directives into instruction
+// opcodes. No instruction scheduling or code motion is performed — only the
+// directive bits change, exactly as in Section 3.2.
+package annotate
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/profiler"
+	"repro/internal/program"
+)
+
+// Options control the annotation pass.
+type Options struct {
+	// AccuracyThreshold is the user-supplied prediction-accuracy
+	// threshold in percent: instructions at or above it are tagged as
+	// value-predictable, all others are left untagged (Section 3.2's
+	// example uses 90%).
+	AccuracyThreshold float64
+	// StrideThreshold is the stride-efficiency threshold in percent that
+	// selects between the "stride" and "last-value" directives; the
+	// paper's heuristic uses 50% (more than half of the correct
+	// predictions were non-zero strides → "stride").
+	StrideThreshold float64
+	// MinAttempts suppresses tagging of instructions with fewer dynamic
+	// prediction attempts in the profile, guarding against noise from
+	// code executed a handful of times. Zero disables the guard.
+	MinAttempts int64
+	// AllowNameMismatch skips the program/image name cross-check.
+	AllowNameMismatch bool
+}
+
+// DefaultOptions is the paper's canonical configuration at threshold 90%.
+var DefaultOptions = Options{AccuracyThreshold: 90, StrideThreshold: 50}
+
+// Stats reports what the pass did.
+type Stats struct {
+	// Profiled is the number of static instructions present in the image.
+	Profiled int
+	// TaggedStride and TaggedLastValue count inserted directives.
+	TaggedStride    int
+	TaggedLastValue int
+	// Untagged counts profiled instructions left below threshold.
+	Untagged int
+}
+
+// Candidates returns the number of instructions tagged with either
+// directive — the set admitted to the prediction table.
+func (s Stats) Candidates() int { return s.TaggedStride + s.TaggedLastValue }
+
+// Apply returns a copy of p with directives inserted according to the
+// profile image and options. The input program is not modified; any
+// directives it already carried are cleared first, so annotation is
+// idempotent and re-thresholding an annotated image is safe.
+func Apply(p *program.Program, im *profiler.Image, opts Options) (*program.Program, Stats, error) {
+	var st Stats
+	if opts.AccuracyThreshold < 0 || opts.AccuracyThreshold > 100 {
+		return nil, st, fmt.Errorf("annotate: accuracy threshold %.1f%% outside [0,100]", opts.AccuracyThreshold)
+	}
+	if opts.StrideThreshold < 0 || opts.StrideThreshold > 100 {
+		return nil, st, fmt.Errorf("annotate: stride threshold %.1f%% outside [0,100]", opts.StrideThreshold)
+	}
+	if !opts.AllowNameMismatch && im.Program != p.Name {
+		return nil, st, fmt.Errorf("annotate: profile image is for program %q, not %q", im.Program, p.Name)
+	}
+	out := p.Clone()
+	for i := range out.Text {
+		out.Text[i].Dir = isa.DirNone
+	}
+	st.Profiled = len(im.Entries)
+	for _, e := range im.Entries {
+		if e.Addr < 0 || e.Addr >= int64(len(out.Text)) {
+			return nil, st, fmt.Errorf("annotate: image entry for address %d outside text [0,%d)", e.Addr, len(out.Text))
+		}
+		ins := &out.Text[e.Addr]
+		if _, writes := ins.WritesReg(); !writes {
+			return nil, st, fmt.Errorf("annotate: image entry for address %d (%s) which produces no register value", e.Addr, ins.Op)
+		}
+		if e.Attempts < opts.MinAttempts || e.Accuracy() < opts.AccuracyThreshold {
+			st.Untagged++
+			continue
+		}
+		if e.StrideEfficiency() > opts.StrideThreshold {
+			ins.Dir = isa.DirStride
+			st.TaggedStride++
+		} else {
+			ins.Dir = isa.DirLastValue
+			st.TaggedLastValue++
+		}
+	}
+	return out, st, nil
+}

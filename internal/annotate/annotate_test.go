@@ -1,0 +1,212 @@
+package annotate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/profiler"
+	"repro/internal/program"
+)
+
+// paperProgram is the vector-sum loop of the paper's Section 3.2 example.
+const paperSrc = `
+main:
+	ldi r1, 0          ; 0: index j
+	ldi r2, 10         ; 1: bound
+loop:
+	ld r3, b(r1)       ; 2: load B[i]
+	ld r4, c(r1)       ; 3: load C[j]
+	add r5, r3, r4     ; 4: A[k] = B[i]+C[j]
+	st r5, a(r1)       ; 5
+	addi r1, r1, 1     ; 6: increment index
+	blt r1, r2, loop   ; 7
+	halt               ; 8
+.data
+a:	.space 10
+b:	.word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3
+c:	.word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8
+`
+
+func paperProg(t *testing.T) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble("vecsum", paperSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// image builds a profile image matching the paper's Table 3.1 shape: the
+// index increment is ~100% accurate with ~100% stride efficiency, the loads
+// and the add are poorly predictable.
+func image(prog string) *profiler.Image {
+	return &profiler.Image{
+		Program: prog,
+		Input:   "train",
+		Entries: []profiler.Entry{
+			{Addr: 2, Executions: 100, Attempts: 99, CorrectStride: 10, NonZeroStrideCorrect: 2, CorrectLast: 8},
+			{Addr: 3, Executions: 100, Attempts: 99, CorrectStride: 40, NonZeroStrideCorrect: 1, CorrectLast: 39},
+			{Addr: 4, Executions: 100, Attempts: 99, CorrectStride: 20, NonZeroStrideCorrect: 1, CorrectLast: 19},
+			{Addr: 6, Executions: 100, Attempts: 99, CorrectStride: 99, NonZeroStrideCorrect: 99, CorrectLast: 0},
+		},
+	}
+}
+
+func TestApplyPaperExample(t *testing.T) {
+	p := paperProg(t)
+	out, st, err := Apply(p, image("vecsum"), Options{AccuracyThreshold: 90, StrideThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the index increment clears 90%; it is stride-efficient, so it
+	// gets the stride directive — the paper's example outcome.
+	if out.Text[6].Dir != isa.DirStride {
+		t.Errorf("index increment directive = %v, want stride", out.Text[6].Dir)
+	}
+	for _, addr := range []int{2, 3, 4} {
+		if out.Text[addr].Dir != isa.DirNone {
+			t.Errorf("text[%d] tagged %v, want none", addr, out.Text[addr].Dir)
+		}
+	}
+	if st.TaggedStride != 1 || st.TaggedLastValue != 0 || st.Untagged != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Candidates() != 1 {
+		t.Errorf("candidates = %d", st.Candidates())
+	}
+	// The input program must be untouched.
+	for i := range p.Text {
+		if p.Text[i].Dir != isa.DirNone {
+			t.Error("Apply mutated its input program")
+		}
+	}
+}
+
+func TestApplyLastValueDirective(t *testing.T) {
+	p := paperProg(t)
+	im := image("vecsum")
+	// Make the load at 3 highly accurate but with low stride efficiency:
+	// it should get the last-value directive.
+	im.Entries[1].CorrectStride = 95
+	im.Entries[1].NonZeroStrideCorrect = 3
+	out, st, err := Apply(p, im, Options{AccuracyThreshold: 90, StrideThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Text[3].Dir != isa.DirLastValue {
+		t.Errorf("text[3] = %v, want lastvalue", out.Text[3].Dir)
+	}
+	if st.TaggedLastValue != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestApplyThresholdSweep(t *testing.T) {
+	p := paperProg(t)
+	im := image("vecsum")
+	// Accuracies: 10.1%, 40.4%, 20.2%, 100%. Candidates by threshold:
+	for _, c := range []struct {
+		th   float64
+		want int
+	}{{90, 1}, {41, 1}, {40, 2}, {20, 3}, {10, 4}, {0, 4}} {
+		_, st, err := Apply(p, im, Options{AccuracyThreshold: c.th, StrideThreshold: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Candidates() != c.want {
+			t.Errorf("threshold %.0f: candidates = %d, want %d", c.th, st.Candidates(), c.want)
+		}
+	}
+}
+
+func TestApplyMinAttempts(t *testing.T) {
+	p := paperProg(t)
+	im := image("vecsum")
+	_, st, err := Apply(p, im, Options{AccuracyThreshold: 0, StrideThreshold: 50, MinAttempts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates() != 0 {
+		t.Errorf("MinAttempts guard failed: %+v", st)
+	}
+}
+
+func TestApplyClearsPreexistingDirectives(t *testing.T) {
+	p := paperProg(t)
+	p.Text[4].Dir = isa.DirStride // pre-tagged by an earlier pass
+	out, _, err := Apply(p, image("vecsum"), Options{AccuracyThreshold: 90, StrideThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Text[4].Dir != isa.DirNone {
+		t.Error("stale directive survived re-annotation")
+	}
+}
+
+func TestApplyNameCheck(t *testing.T) {
+	p := paperProg(t)
+	if _, _, err := Apply(p, image("other"), Options{AccuracyThreshold: 90, StrideThreshold: 50}); err == nil {
+		t.Error("cross-program image accepted")
+	}
+	if _, _, err := Apply(p, image("other"), Options{AccuracyThreshold: 90, StrideThreshold: 50, AllowNameMismatch: true}); err != nil {
+		t.Errorf("AllowNameMismatch failed: %v", err)
+	}
+}
+
+func TestApplyRejectsBadOptions(t *testing.T) {
+	p := paperProg(t)
+	im := image("vecsum")
+	for _, opts := range []Options{
+		{AccuracyThreshold: -1, StrideThreshold: 50},
+		{AccuracyThreshold: 101, StrideThreshold: 50},
+		{AccuracyThreshold: 90, StrideThreshold: -0.5},
+		{AccuracyThreshold: 90, StrideThreshold: 100.5},
+	} {
+		if _, _, err := Apply(p, im, opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+}
+
+// TestApplyIdempotent: annotating an already annotated program with the
+// same image and options yields an identical result (directives are cleared
+// and rewritten, never accumulated).
+func TestApplyIdempotent(t *testing.T) {
+	p := paperProg(t)
+	im := image("vecsum")
+	opts := Options{AccuracyThreshold: 40, StrideThreshold: 50}
+	once, st1, err := Apply(p, im, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, st2, err := Apply(once, im, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Errorf("stats differ across reapplication: %+v vs %+v", st1, st2)
+	}
+	for i := range once.Text {
+		if once.Text[i] != twice.Text[i] {
+			t.Errorf("text[%d] differs after reapplication: %v vs %v", i, once.Text[i], twice.Text[i])
+		}
+	}
+}
+
+func TestApplyRejectsCorruptImage(t *testing.T) {
+	p := paperProg(t)
+	im := image("vecsum")
+	im.Entries[0].Addr = 999 // outside text
+	if _, _, err := Apply(p, im, DefaultOptions); err == nil {
+		t.Error("out-of-range image entry accepted")
+	}
+
+	im = image("vecsum")
+	im.Entries[0].Addr = 5 // a store: produces no register value
+	_, _, err := Apply(p, im, DefaultOptions)
+	if err == nil || !strings.Contains(err.Error(), "no register value") {
+		t.Errorf("non-value-producing image entry: err = %v", err)
+	}
+}

@@ -1,0 +1,544 @@
+// Package asm implements a two-pass assembler for the simulated machine's
+// textual assembly language, standing in for the paper's gcc 2.7.2 → SPARC
+// tool chain: workload sources are written (or generated) as assembly text
+// and assembled into program images.
+//
+// Syntax overview:
+//
+//	; comment       # comment
+//	.text                      switch to the text segment (default)
+//	.data                      switch to the data segment
+//	label:                     define a label at the current address
+//	.word 1, 0x2f, sym, sym+4  emit initialized data words
+//	.float 3.14, -0.5          emit float64 bit patterns
+//	.space 128                 reserve zeroed data words
+//	add r1, r2, r3             register-register ALU
+//	addi.stride r1, r1, 1      directive-suffixed mnemonic
+//	ldi r1, sym                load immediate (symbols resolve to addresses)
+//	ld r2, 8(r3)               load, displacement(base)
+//	ld r2, sym(r3)             data symbols usable as displacements
+//	st r2, 0(r3)               store
+//	beq r1, r2, label          branch to label (or absolute address)
+//	jmp label / jal ra, label / jalr zero, ra
+//	fadd f1, f2, f3            FP arithmetic; FP loads: fld f1, 0(r2)
+//	phase 1                    phase-boundary marker
+//	halt
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Error describes an assembly failure with its source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Assemble assembles source text into a program image. name labels the
+// program and appears in error messages. Execution starts at the label
+// "main" if defined, else at text address 0.
+func Assemble(name, src string) (*program.Program, error) {
+	a := &assembler{file: name}
+	if err := a.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := a.secondPass(src); err != nil {
+		return nil, err
+	}
+	p := &program.Program{
+		Name: name,
+		Text: a.text,
+		Data: a.data,
+	}
+	for n, s := range a.symbols {
+		p.Symbols = append(p.Symbols, program.Symbol{Name: n, Addr: s.addr, Data: s.data})
+	}
+	p.SortSymbols()
+	if main, ok := p.Lookup("main"); ok && !main.Data {
+		p.Entry = main.Addr
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type symbol struct {
+	addr int64
+	data bool
+}
+
+type assembler struct {
+	file    string
+	symbols map[string]symbol
+	text    []isa.Instruction
+	data    []isa.Word
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// statement is one logical source line after comment/label stripping.
+type statement struct {
+	line   int
+	labels []string
+	op     string   // mnemonic or dot-directive, lowercase; "" if labels only
+	rest   string   // operand text
+	fields []string // operands split on commas, trimmed
+}
+
+// parseLines splits source into statements. It is shared by both passes so
+// they agree exactly on addresses.
+func (a *assembler) parseLines(src string) ([]statement, error) {
+	var stmts []statement
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s := raw
+		if j := strings.IndexAny(s, ";#"); j >= 0 {
+			s = s[:j]
+		}
+		s = strings.TrimSpace(s)
+		var labels []string
+		for {
+			j := strings.Index(s, ":")
+			if j < 0 {
+				break
+			}
+			lbl := strings.TrimSpace(s[:j])
+			if !validIdent(lbl) {
+				return nil, a.errf(line, "invalid label %q", lbl)
+			}
+			labels = append(labels, lbl)
+			s = strings.TrimSpace(s[j+1:])
+		}
+		if s == "" && len(labels) == 0 {
+			continue
+		}
+		st := statement{line: line, labels: labels}
+		if s != "" {
+			op := s
+			rest := ""
+			if j := strings.IndexAny(s, " \t"); j >= 0 {
+				op, rest = s[:j], strings.TrimSpace(s[j+1:])
+			}
+			st.op = strings.ToLower(op)
+			st.rest = rest
+			if rest != "" {
+				for _, f := range strings.Split(rest, ",") {
+					st.fields = append(st.fields, strings.TrimSpace(f))
+				}
+			}
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+// firstPass sizes segments and collects label addresses.
+func (a *assembler) firstPass(src string) error {
+	a.symbols = make(map[string]symbol)
+	stmts, err := a.parseLines(src)
+	if err != nil {
+		return err
+	}
+	inData := false
+	textAddr, dataAddr := int64(0), int64(0)
+	for _, st := range stmts {
+		for _, lbl := range st.labels {
+			if _, dup := a.symbols[lbl]; dup {
+				return a.errf(st.line, "duplicate label %q", lbl)
+			}
+			if inData {
+				a.symbols[lbl] = symbol{addr: dataAddr, data: true}
+			} else {
+				a.symbols[lbl] = symbol{addr: textAddr, data: false}
+			}
+		}
+		if st.op == "" {
+			continue
+		}
+		switch st.op {
+		case ".text":
+			inData = false
+		case ".data":
+			inData = true
+		case ".word", ".float":
+			if !inData {
+				return a.errf(st.line, "%s outside .data section", st.op)
+			}
+			if len(st.fields) == 0 {
+				return a.errf(st.line, "%s needs at least one value", st.op)
+			}
+			dataAddr += int64(len(st.fields))
+		case ".space":
+			if !inData {
+				return a.errf(st.line, ".space outside .data section")
+			}
+			n, err := strconv.ParseInt(st.rest, 0, 64)
+			if err != nil || n < 0 {
+				return a.errf(st.line, "bad .space size %q", st.rest)
+			}
+			dataAddr += n
+		default:
+			if strings.HasPrefix(st.op, ".") {
+				return a.errf(st.line, "unknown directive %s", st.op)
+			}
+			if inData {
+				return a.errf(st.line, "instruction %q in .data section", st.op)
+			}
+			textAddr++
+		}
+	}
+	return nil
+}
+
+// secondPass emits instructions and data.
+func (a *assembler) secondPass(src string) error {
+	stmts, err := a.parseLines(src)
+	if err != nil {
+		return err
+	}
+	inData := false
+	for _, st := range stmts {
+		if st.op == "" {
+			continue
+		}
+		switch st.op {
+		case ".text":
+			inData = false
+		case ".data":
+			inData = true
+		case ".word":
+			for _, f := range st.fields {
+				v, err := a.value(st.line, f)
+				if err != nil {
+					return err
+				}
+				a.data = append(a.data, v)
+			}
+		case ".float":
+			for _, f := range st.fields {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return a.errf(st.line, "bad float %q", f)
+				}
+				a.data = append(a.data, floatBits(v))
+			}
+		case ".space":
+			n, _ := strconv.ParseInt(st.rest, 0, 64)
+			a.data = append(a.data, make([]isa.Word, n)...)
+		default:
+			if inData {
+				return a.errf(st.line, "instruction %q in .data section", st.op)
+			}
+			ins, err := a.instruction(st)
+			if err != nil {
+				return err
+			}
+			a.text = append(a.text, ins)
+		}
+	}
+	return nil
+}
+
+// instruction parses one instruction statement.
+func (a *assembler) instruction(st statement) (isa.Instruction, error) {
+	mnem := st.op
+	dir := isa.DirNone
+	if j := strings.Index(mnem, "."); j >= 0 {
+		switch mnem[j+1:] {
+		case "stride":
+			dir = isa.DirStride
+		case "lastvalue":
+			dir = isa.DirLastValue
+		default:
+			return isa.Instruction{}, a.errf(st.line, "unknown directive suffix %q", mnem[j+1:])
+		}
+		mnem = mnem[:j]
+	}
+	op, ok := isa.OpcodeByName(mnem)
+	if !ok {
+		return isa.Instruction{}, a.errf(st.line, "unknown mnemonic %q", mnem)
+	}
+	ins := isa.Instruction{Op: op, Dir: dir}
+	info := op.Info()
+	f := st.fields
+	need := func(n int) error {
+		if len(f) != n {
+			return a.errf(st.line, "%s expects %d operands, got %d", mnem, n, len(f))
+		}
+		return nil
+	}
+	var err error
+	switch info.Format {
+	case isa.FormatR:
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = a.destReg(st.line, op, f[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rs1, ins.Rs2, err = a.sourceRegs(st.line, op, f[1], f[2]); err != nil {
+			return ins, err
+		}
+	case isa.FormatI:
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = a.intReg(st.line, f[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rs1, err = a.intReg(st.line, f[1]); err != nil {
+			return ins, err
+		}
+		if ins.Imm, err = a.value(st.line, f[2]); err != nil {
+			return ins, err
+		}
+	case isa.FormatLI:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = a.intReg(st.line, f[0]); err != nil {
+			return ins, err
+		}
+		if ins.Imm, err = a.value(st.line, f[1]); err != nil {
+			return ins, err
+		}
+	case isa.FormatLoad:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if info.WritesFP {
+			ins.Rd, err = a.fpReg(st.line, f[0])
+		} else {
+			ins.Rd, err = a.intReg(st.line, f[0])
+		}
+		if err != nil {
+			return ins, err
+		}
+		if ins.Imm, ins.Rs1, err = a.memOperand(st.line, f[1]); err != nil {
+			return ins, err
+		}
+	case isa.FormatStore:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if op == isa.OpFST {
+			ins.Rs2, err = a.fpReg(st.line, f[0])
+		} else {
+			ins.Rs2, err = a.intReg(st.line, f[0])
+		}
+		if err != nil {
+			return ins, err
+		}
+		if ins.Imm, ins.Rs1, err = a.memOperand(st.line, f[1]); err != nil {
+			return ins, err
+		}
+	case isa.FormatBranch:
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rs1, err = a.intReg(st.line, f[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rs2, err = a.intReg(st.line, f[1]); err != nil {
+			return ins, err
+		}
+		if ins.Imm, err = a.textTarget(st.line, f[2]); err != nil {
+			return ins, err
+		}
+	case isa.FormatJump:
+		if err = need(1); err != nil {
+			return ins, err
+		}
+		if ins.Imm, err = a.textTarget(st.line, f[0]); err != nil {
+			return ins, err
+		}
+	case isa.FormatJAL:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = a.intReg(st.line, f[0]); err != nil {
+			return ins, err
+		}
+		if ins.Imm, err = a.textTarget(st.line, f[1]); err != nil {
+			return ins, err
+		}
+	case isa.FormatJALR:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = a.intReg(st.line, f[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rs1, err = a.intReg(st.line, f[1]); err != nil {
+			return ins, err
+		}
+	case isa.FormatRR:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = a.destReg(st.line, op, f[0]); err != nil {
+			return ins, err
+		}
+		rs1FP, _ := isa.FPSourceOperands(op)
+		if rs1FP {
+			ins.Rs1, err = a.fpReg(st.line, f[1])
+		} else {
+			ins.Rs1, err = a.intReg(st.line, f[1])
+		}
+		if err != nil {
+			return ins, err
+		}
+	case isa.FormatSys:
+		if op == isa.OpPHASE {
+			if err = need(1); err != nil {
+				return ins, err
+			}
+			if ins.Imm, err = a.value(st.line, f[0]); err != nil {
+				return ins, err
+			}
+		} else if len(f) != 0 {
+			return ins, a.errf(st.line, "%s takes no operands", mnem)
+		}
+	}
+	return ins, nil
+}
+
+func (a *assembler) destReg(line int, op isa.Opcode, s string) (isa.Reg, error) {
+	if op.Info().WritesFP {
+		return a.fpReg(line, s)
+	}
+	return a.intReg(line, s)
+}
+
+func (a *assembler) sourceRegs(line int, op isa.Opcode, s1, s2 string) (isa.Reg, isa.Reg, error) {
+	rs1FP, rs2FP := isa.FPSourceOperands(op)
+	parse := func(fp bool, s string) (isa.Reg, error) {
+		if fp {
+			return a.fpReg(line, s)
+		}
+		return a.intReg(line, s)
+	}
+	r1, err := parse(rs1FP, s1)
+	if err != nil {
+		return 0, 0, err
+	}
+	r2, err := parse(rs2FP, s2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r1, r2, nil
+}
+
+func (a *assembler) intReg(line int, s string) (isa.Reg, error) {
+	r, ok := isa.ParseIntReg(s)
+	if !ok {
+		return 0, a.errf(line, "bad integer register %q", s)
+	}
+	return r, nil
+}
+
+func (a *assembler) fpReg(line int, s string) (isa.Reg, error) {
+	r, ok := isa.ParseFPReg(s)
+	if !ok {
+		return 0, a.errf(line, "bad FP register %q", s)
+	}
+	return r, nil
+}
+
+// memOperand parses "disp(base)" where disp may be a number or symbol±offset.
+func (a *assembler) memOperand(line int, s string) (int64, isa.Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf(line, "bad memory operand %q (want disp(base))", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	baseStr := strings.TrimSpace(s[open+1 : len(s)-1])
+	var disp int64
+	if dispStr != "" {
+		var err error
+		if disp, err = a.value(line, dispStr); err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err := a.intReg(line, baseStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return disp, base, nil
+}
+
+// textTarget resolves a branch/jump target: a text label or absolute address.
+func (a *assembler) textTarget(line int, s string) (int64, error) {
+	if sym, ok := a.symbols[s]; ok {
+		if sym.data {
+			return 0, a.errf(line, "branch target %q is a data symbol", s)
+		}
+		return sym.addr, nil
+	}
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return n, nil
+	}
+	return 0, a.errf(line, "undefined branch target %q", s)
+}
+
+// value parses an immediate: number (decimal/hex/char) or symbol±offset.
+func (a *assembler) value(line int, s string) (int64, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		inner := s[1 : len(s)-1]
+		if len(inner) == 1 {
+			return int64(inner[0]), nil
+		}
+		return 0, a.errf(line, "bad character literal %s", s)
+	}
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return n, nil
+	}
+	// symbol, symbol+N, symbol-N
+	name, off := s, int64(0)
+	for _, sep := range []string{"+", "-"} {
+		if j := strings.LastIndex(s, sep); j > 0 {
+			n, err := strconv.ParseInt(s[j:], 0, 64)
+			if err == nil {
+				name, off = strings.TrimSpace(s[:j]), n
+				break
+			}
+		}
+	}
+	sym, ok := a.symbols[name]
+	if !ok {
+		return 0, a.errf(line, "undefined symbol %q", name)
+	}
+	return sym.addr + off, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

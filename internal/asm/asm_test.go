@@ -1,0 +1,261 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("t", `
+; the paper's vector-sum flavor
+main:
+	ldi r1, 0
+	ldi r2, 10
+loop:
+	ld r3, b(r1)
+	ld r4, c(r1)
+	add r5, r3, r4
+	st r5, a(r1)
+	addi r1, r1, 1
+	blt r1, r2, loop
+	halt
+.data
+a:	.space 10
+b:	.word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+c:	.word 10, 9, 8, 7, 6, 5, 4, 3, 2, 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 9 {
+		t.Fatalf("text length = %d, want 9", len(p.Text))
+	}
+	if len(p.Data) != 30 {
+		t.Fatalf("data length = %d, want 30", len(p.Data))
+	}
+	if p.Entry != 0 {
+		t.Fatalf("entry = %d, want 0 (label main)", p.Entry)
+	}
+	sym, ok := p.Lookup("b")
+	if !ok || !sym.Data || sym.Addr != 10 {
+		t.Fatalf("symbol b = %+v, %v", sym, ok)
+	}
+	// The branch target must resolve to the loop label's address.
+	if p.Text[8].Op != isa.OpBLT && p.Text[7].Op != isa.OpBLT {
+		// account for halt at the end
+		t.Logf("text: %v", p.Text)
+	}
+	blt := p.Text[7]
+	if blt.Op != isa.OpBLT || blt.Imm != 2 {
+		t.Fatalf("blt = %+v, want target 2", blt)
+	}
+}
+
+func TestAssembleDirectiveSuffixes(t *testing.T) {
+	p, err := Assemble("t", `
+main:
+	addi.stride r1, r1, 1
+	ld.lastvalue r2, 0(r1)
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Dir != isa.DirStride {
+		t.Errorf("addi.stride directive = %v", p.Text[0].Dir)
+	}
+	if p.Text[1].Dir != isa.DirLastValue {
+		t.Errorf("ld.lastvalue directive = %v", p.Text[1].Dir)
+	}
+	if p.Text[2].Dir != isa.DirNone {
+		t.Errorf("halt directive = %v", p.Text[2].Dir)
+	}
+}
+
+func TestAssembleOperandForms(t *testing.T) {
+	p, err := Assemble("t", `
+main:
+	ldi r1, 0x10       ; hex
+	ldi r2, 'a'        ; char
+	ldi r3, -42        ; negative
+	ldi r4, tab        ; symbol
+	ldi r5, tab+3      ; symbol+offset
+	ldi r6, tab-1      ; symbol-offset
+	ld r7, tab(r1)     ; symbol displacement
+	ld r8, 2(r1)       ; numeric displacement
+	ld r9, (r1)        ; empty displacement
+	jalr zero, ra
+.data
+tab:	.word 1
+	.float 1.5
+	.space 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantImm := []int64{0x10, 'a', -42, 0, 3, -1, 0, 2, 0}
+	for i, want := range wantImm {
+		if p.Text[i].Imm != want {
+			t.Errorf("text[%d].Imm = %d, want %d", i, p.Text[i].Imm, want)
+		}
+	}
+	if p.Data[1] != int64(math.Float64bits(1.5)) {
+		t.Errorf("float data = %#x", p.Data[1])
+	}
+	if len(p.Data) != 4 {
+		t.Errorf("data length = %d, want 4", len(p.Data))
+	}
+}
+
+func TestAssembleJumpTable(t *testing.T) {
+	p, err := Assemble("t", `
+main:
+	ld r1, table(zero)
+	jalr ra, r1
+	halt
+h0:
+	jalr zero, ra
+.data
+table:	.word h0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := p.Lookup("h0")
+	if p.Data[0] != h0.Addr {
+		t.Errorf("jump table entry = %d, want %d", p.Data[0], h0.Addr)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":    "main:\n\tfrob r1, r2, r3\n",
+		"bad register":        "main:\n\tadd r1, r2, r99\n",
+		"fp reg in int slot":  "main:\n\tadd r1, f2, r3\n",
+		"missing operand":     "main:\n\tadd r1, r2\n",
+		"extra operand":       "main:\n\thalt r1\n",
+		"undefined symbol":    "main:\n\tldi r1, nowhere\n",
+		"undefined target":    "main:\n\tjmp nowhere\n",
+		"data target":         "main:\n\tjmp d\n.data\nd:\t.word 1\n",
+		"duplicate label":     "main:\nmain:\n\thalt\n",
+		"bad label":           "9lives:\n\thalt\n",
+		"word outside data":   "main:\n\t.word 1\n",
+		"space outside data":  "main:\n\t.space 4\n",
+		"bad space size":      "main:\n\thalt\n.data\nx:\t.space -1\n",
+		"unknown directive":   "main:\n\t.blah 3\n",
+		"instruction in data": ".data\nx:\tadd r1, r2, r3\n",
+		"bad mem operand":     "main:\n\tld r1, r2\n",
+		"bad float":           "main:\n\thalt\n.data\nf:\t.float zzz\n",
+		"bad char literal":    "main:\n\tldi r1, 'ab'\n",
+		"bad suffix":          "main:\n\tadd.sometimes r1, r2, r3\n",
+		"empty word list":     "main:\n\thalt\n.data\nw:\t.word\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("%s: error %v is not an *asm.Error", name, err)
+		}
+	}
+}
+
+func TestAssembleErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("prog.s", "main:\n\thalt\n\tfrob r1\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "prog.s:3") {
+		t.Errorf("error %q does not cite prog.s:3", err)
+	}
+}
+
+func TestAssembleEntryDefaultsToZero(t *testing.T) {
+	p, err := Assemble("t", "start:\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0 when no main label", p.Entry)
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble("t", `
+; full-line comment
+# hash comment
+
+main:	halt   ; trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 1 || p.Text[0].Op != isa.OpHALT {
+		t.Fatalf("text = %v", p.Text)
+	}
+}
+
+func TestAssembleLabelOnSameLine(t *testing.T) {
+	p, err := Assemble("t", "main: loop: jmp loop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Op != isa.OpJMP || p.Text[0].Imm != 0 {
+		t.Fatalf("text[0] = %+v", p.Text[0])
+	}
+}
+
+// TestProgramTextRoundTrip checks the disassembler emits re-assemblable text
+// producing an identical image.
+func TestProgramTextRoundTrip(t *testing.T) {
+	src := `
+main:
+	ldi r1, 5
+	ldi r2, 0
+loop:
+	add r2, r2, r1
+	addi.stride r1, r1, -1
+	bne r1, zero, loop
+	st r2, out(zero)
+	fadd f1, f2, f3
+	fld f4, 1(r1)
+	fst f4, 2(r1)
+	jal ra, sub
+	halt
+sub:
+	jalr zero, ra
+.data
+out:	.word 0
+	.word 99
+`
+	p1, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ProgramText(p1)
+	p2, err := Assemble("t", text)
+	if err != nil {
+		t.Fatalf("re-assemble disassembly: %v\n%s", err, text)
+	}
+	if len(p1.Text) != len(p2.Text) {
+		t.Fatalf("text lengths differ: %d vs %d", len(p1.Text), len(p2.Text))
+	}
+	for i := range p1.Text {
+		if p1.Text[i] != p2.Text[i] {
+			t.Errorf("text[%d]: %v vs %v", i, p1.Text[i], p2.Text[i])
+		}
+	}
+	if len(p1.Data) != len(p2.Data) {
+		t.Fatalf("data lengths differ: %d vs %d", len(p1.Data), len(p2.Data))
+	}
+	for i := range p1.Data {
+		if p1.Data[i] != p2.Data[i] {
+			t.Errorf("data[%d]: %d vs %d", i, p1.Data[i], p2.Data[i])
+		}
+	}
+	if p1.Entry != p2.Entry {
+		t.Errorf("entries differ: %d vs %d", p1.Entry, p2.Entry)
+	}
+}

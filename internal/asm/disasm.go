@@ -1,0 +1,61 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func floatBits(f float64) isa.Word { return int64(math.Float64bits(f)) }
+
+// ProgramText renders a program image back to assembly text that Assemble
+// accepts and that round-trips to an identical image (modulo label names:
+// synthetic "L<addr>" labels are generated for text addresses and the data
+// segment is emitted as raw .word values). The annotation tool uses this to
+// show annotated programs, and the tests use it to validate the assembler
+// and disassembler against each other.
+func ProgramText(p *program.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s\n", p.Name)
+
+	// Collect text addresses that need labels: the entry point and every
+	// control-transfer target.
+	labels := map[int64]string{p.Entry: "main"}
+	for _, ins := range p.Text {
+		info := ins.Op.Info()
+		if info.IsBranch || ins.Op == isa.OpJMP || ins.Op == isa.OpJAL {
+			if _, ok := labels[ins.Imm]; !ok {
+				labels[ins.Imm] = fmt.Sprintf("L%d", ins.Imm)
+			}
+		}
+	}
+	b.WriteString(".text\n")
+	for addr, ins := range p.Text {
+		if lbl, ok := labels[int64(addr)]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		text := isa.Disassemble(ins)
+		// Rewrite numeric control-transfer targets to their labels.
+		info := ins.Op.Info()
+		if info.IsBranch || ins.Op == isa.OpJMP || ins.Op == isa.OpJAL {
+			numeric := fmt.Sprintf("%d", ins.Imm)
+			if j := strings.LastIndex(text, numeric); j >= 0 {
+				text = text[:j] + labels[ins.Imm] + text[j+len(numeric):]
+			}
+		}
+		fmt.Fprintf(&b, "\t%s\n", text)
+	}
+	if len(p.Data) > 0 {
+		b.WriteString(".data\n")
+		for i, w := range p.Data {
+			if i == 0 {
+				b.WriteString("d0:\n")
+			}
+			fmt.Fprintf(&b, "\t.word %d\n", w)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config (defaults) rejected: %v", err)
+	}
+	if err := (Config{Entries: 100}).Validate(); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	if err := (Config{Entries: 16, Bits: 9}).Validate(); err == nil {
+		t.Error("9-bit counters accepted")
+	}
+	if _, err := New(Config{Entries: -4}); err == nil {
+		t.Error("negative entries accepted")
+	}
+}
+
+func TestAlwaysTakenBranchLearns(t *testing.T) {
+	p, err := New(Config{Entries: 16, Bits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !p.Observe(5, true) {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Errorf("always-taken branch mispredicted %d times", wrong)
+	}
+	if p.Accuracy() < 99 {
+		t.Errorf("accuracy = %.1f%%", p.Accuracy())
+	}
+}
+
+func TestAlternatingBranchIsHard(t *testing.T) {
+	p, err := New(Config{Entries: 16, Bits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		p.Observe(3, i%2 == 0)
+	}
+	// A bimodal predictor cannot learn strict alternation: accuracy must
+	// hover near 50%, never near 100%.
+	if p.Accuracy() > 75 {
+		t.Errorf("alternating branch accuracy = %.1f%%, bimodal should struggle", p.Accuracy())
+	}
+}
+
+func TestLoopBranchPattern(t *testing.T) {
+	p, err := New(Config{Entries: 16, Bits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 iterations of a 10-iteration loop: taken 9×, not-taken 1×.
+	for rep := 0; rep < 100; rep++ {
+		for i := 0; i < 9; i++ {
+			p.Observe(7, true)
+		}
+		p.Observe(7, false)
+	}
+	// 2-bit hysteresis should mispredict only the loop exits (plus at
+	// most one re-entry miss each): accuracy ≈ 90%.
+	if acc := p.Accuracy(); acc < 85 || acc > 95 {
+		t.Errorf("loop-branch accuracy = %.1f%%, want ≈90%%", acc)
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	p, err := New(Config{Entries: 2, Bits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Addresses 0 and 2 share counter 0; opposing outcomes fight.
+	for i := 0; i < 200; i++ {
+		p.Observe(0, true)
+		p.Observe(2, false)
+	}
+	if p.Accuracy() > 60 {
+		t.Errorf("aliased branches should destructively interfere, accuracy = %.1f%%", p.Accuracy())
+	}
+}
+
+// TestCountersStayBounded: property — counters never leave [0, max] and
+// statistics stay consistent.
+func TestCountersStayBounded(t *testing.T) {
+	f := func(outcomes []bool, addrs []uint8) bool {
+		p, err := New(Config{Entries: 8, Bits: 2})
+		if err != nil {
+			return false
+		}
+		for i, taken := range outcomes {
+			var a int64
+			if len(addrs) > 0 {
+				a = int64(addrs[i%len(addrs)])
+			}
+			p.Observe(a, taken)
+		}
+		for _, c := range p.counters {
+			if c > p.max {
+				return false
+			}
+		}
+		return p.Mispredicts <= p.Lookups && p.Lookups == int64(len(outcomes))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	p, _ := New(Config{})
+	if p.Accuracy() != 0 {
+		t.Error("accuracy of unused predictor should be 0")
+	}
+}

@@ -1,0 +1,151 @@
+// Package classify implements the two classification mechanisms the paper
+// compares: the hardware-only scheme of per-entry saturating counters
+// ([9][10], Section 2.2) and the profile-guided scheme in which compiler-
+// inserted opcode directives decide, ahead of time, which instructions are
+// candidates for value prediction (Section 3.2).
+//
+// A classification Policy answers three questions the prediction engine asks
+// for every dynamic value-producing instruction:
+//
+//  1. Candidate — may this instruction access (and be allocated into) the
+//     prediction table at all?
+//  2. Use — given a table hit, should the processor act on the prediction?
+//  3. Train — how does the outcome update classifier state?
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/predictor"
+)
+
+// Policy is a classification mechanism.
+type Policy interface {
+	// Candidate reports whether an instruction carrying directive dir may
+	// access the prediction table.
+	Candidate(dir isa.Directive) bool
+	// Use reports whether the prediction held by entry e should be taken.
+	Use(e *predictor.Entry) bool
+	// Train updates classifier state in e after the prediction outcome is
+	// known.
+	Train(e *predictor.Entry, correct bool)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// SatCounter is the counter automaton of the hardware classifier: an n-bit
+// saturating counter per prediction-table entry, incremented on a correct
+// prediction, decremented on an incorrect one, with the prediction taken
+// only at or above a trust threshold.
+type SatCounter struct {
+	// Bits is the counter width; the classic scheme uses 2.
+	Bits uint8
+	// TrustAt is the minimum counter value at which predictions are
+	// taken.
+	TrustAt uint8
+	// Initial is the counter value assigned at allocation.
+	Initial uint8
+}
+
+// DefaultSatCounter is the 2-bit scheme of [9][10]: states 0..3, predictions
+// taken in the upper half, new entries starting at the trust threshold so a
+// fresh entry predicts eagerly (as the last-value predictor of [9] does) and
+// two mispredictions silence it.
+var DefaultSatCounter = SatCounter{Bits: 2, TrustAt: 2, Initial: 2}
+
+// Validate checks the automaton parameters.
+func (s SatCounter) Validate() error {
+	if s.Bits == 0 || s.Bits > 8 {
+		return fmt.Errorf("classify: counter width %d out of range [1,8]", s.Bits)
+	}
+	if s.TrustAt > s.Max() {
+		return fmt.Errorf("classify: trust threshold %d exceeds max counter %d", s.TrustAt, s.Max())
+	}
+	if s.Initial > s.Max() {
+		return fmt.Errorf("classify: initial value %d exceeds max counter %d", s.Initial, s.Max())
+	}
+	return nil
+}
+
+// Max is the saturation value.
+func (s SatCounter) Max() uint8 { return 1<<s.Bits - 1 }
+
+// Trust reports whether a counter value clears the trust threshold.
+func (s SatCounter) Trust(c uint8) bool { return c >= s.TrustAt }
+
+// OnCorrect advances the counter after a correct prediction.
+func (s SatCounter) OnCorrect(c uint8) uint8 {
+	if c >= s.Max() {
+		return s.Max()
+	}
+	return c + 1
+}
+
+// OnIncorrect retreats the counter after an incorrect prediction.
+func (s SatCounter) OnIncorrect(c uint8) uint8 {
+	if c == 0 {
+		return 0
+	}
+	return c - 1
+}
+
+// FSMPolicy is the hardware-only classification mechanism: every
+// value-producing instruction is a table candidate, and per-entry saturating
+// counters gate whether predictions are taken.
+type FSMPolicy struct {
+	Counter SatCounter
+}
+
+// NewFSMPolicy builds the policy, validating the counter automaton.
+func NewFSMPolicy(c SatCounter) (*FSMPolicy, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &FSMPolicy{Counter: c}, nil
+}
+
+// Candidate implements Policy: the hardware scheme admits everything.
+func (p *FSMPolicy) Candidate(isa.Directive) bool { return true }
+
+// Use implements Policy.
+func (p *FSMPolicy) Use(e *predictor.Entry) bool { return p.Counter.Trust(e.Counter) }
+
+// Train implements Policy.
+func (p *FSMPolicy) Train(e *predictor.Entry, correct bool) {
+	if correct {
+		e.Counter = p.Counter.OnCorrect(e.Counter)
+	} else {
+		e.Counter = p.Counter.OnIncorrect(e.Counter)
+	}
+}
+
+// Name implements Policy.
+func (p *FSMPolicy) Name() string { return "saturating-counters" }
+
+// InitCounter returns the allocation-time counter value; the prediction
+// engine applies it to freshly allocated entries.
+func (p *FSMPolicy) InitCounter() uint8 { return p.Counter.Initial }
+
+// ProfilePolicy is the paper's proposal: only instructions tagged with a
+// "stride" or "last-value" directive are candidates, and a table hit is
+// always acted upon — the profile already established the instruction as
+// highly predictable, so no run-time confidence state is needed.
+type ProfilePolicy struct{}
+
+// Candidate implements Policy.
+func (ProfilePolicy) Candidate(dir isa.Directive) bool { return dir != isa.DirNone }
+
+// Use implements Policy.
+func (ProfilePolicy) Use(*predictor.Entry) bool { return true }
+
+// Train implements Policy: profile classification keeps no run-time state.
+func (ProfilePolicy) Train(*predictor.Entry, bool) {}
+
+// Name implements Policy.
+func (ProfilePolicy) Name() string { return "profile-directives" }
+
+var (
+	_ Policy = (*FSMPolicy)(nil)
+	_ Policy = ProfilePolicy{}
+)

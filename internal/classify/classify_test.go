@@ -1,0 +1,147 @@
+package classify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/predictor"
+)
+
+func TestSatCounterValidate(t *testing.T) {
+	good := []SatCounter{{2, 2, 2}, {1, 1, 0}, {8, 255, 128}, DefaultSatCounter}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []SatCounter{{0, 0, 0}, {9, 0, 0}, {2, 4, 0}, {2, 2, 4}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+func TestSatCounterAutomaton(t *testing.T) {
+	c := SatCounter{Bits: 2, TrustAt: 2, Initial: 1}
+	if c.Max() != 3 {
+		t.Fatalf("Max = %d", c.Max())
+	}
+	// Walk the full transition diagram.
+	v := uint8(1)
+	if c.Trust(v) {
+		t.Error("state 1 trusted")
+	}
+	v = c.OnCorrect(v) // 2
+	if !c.Trust(v) {
+		t.Error("state 2 not trusted")
+	}
+	v = c.OnCorrect(v) // 3
+	v = c.OnCorrect(v) // saturates at 3
+	if v != 3 {
+		t.Errorf("saturation failed: %d", v)
+	}
+	v = c.OnIncorrect(v) // 2
+	v = c.OnIncorrect(v) // 1
+	v = c.OnIncorrect(v) // 0
+	v = c.OnIncorrect(v) // floors at 0
+	if v != 0 {
+		t.Errorf("floor failed: %d", v)
+	}
+}
+
+// TestSatCounterBounds: property — the counter never leaves [0, Max] under
+// arbitrary outcome sequences.
+func TestSatCounterBounds(t *testing.T) {
+	f := func(bits uint8, outcomes []bool) bool {
+		c := SatCounter{Bits: bits%8 + 1}
+		c.TrustAt = c.Max() / 2
+		v := c.Initial
+		for _, ok := range outcomes {
+			if ok {
+				v = c.OnCorrect(v)
+			} else {
+				v = c.OnIncorrect(v)
+			}
+			if v > c.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSMPolicy(t *testing.T) {
+	p, err := NewFSMPolicy(SatCounter{Bits: 2, TrustAt: 2, Initial: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Candidate(isa.DirNone) || !p.Candidate(isa.DirStride) {
+		t.Error("FSM policy must admit every instruction")
+	}
+	e := &predictor.Entry{Counter: p.InitCounter()}
+	if p.Use(e) {
+		t.Error("fresh entry below threshold trusted")
+	}
+	p.Train(e, true)
+	if !p.Use(e) {
+		t.Error("entry not trusted after one correct outcome")
+	}
+	p.Train(e, false)
+	p.Train(e, false)
+	if p.Use(e) {
+		t.Error("entry trusted after two mispredictions")
+	}
+	if p.Name() == "" {
+		t.Error("policy has no name")
+	}
+}
+
+func TestNewFSMPolicyRejectsBadCounter(t *testing.T) {
+	if _, err := NewFSMPolicy(SatCounter{Bits: 0}); err == nil {
+		t.Error("invalid counter accepted")
+	}
+}
+
+func TestProfilePolicy(t *testing.T) {
+	var p ProfilePolicy
+	if p.Candidate(isa.DirNone) {
+		t.Error("untagged instruction admitted")
+	}
+	if !p.Candidate(isa.DirStride) || !p.Candidate(isa.DirLastValue) {
+		t.Error("tagged instruction rejected")
+	}
+	e := &predictor.Entry{}
+	if !p.Use(e) {
+		t.Error("profile policy must always use table hits")
+	}
+	p.Train(e, false) // must be a no-op
+	if e.Counter != 0 {
+		t.Error("profile policy mutated counter state")
+	}
+	if p.Name() == "" {
+		t.Error("policy has no name")
+	}
+}
+
+func TestDefaultSatCounterTrustsEagerly(t *testing.T) {
+	// The experiments rely on the documented default: fresh entries
+	// predict immediately and two mispredictions silence them.
+	p, err := NewFSMPolicy(DefaultSatCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &predictor.Entry{Counter: p.InitCounter()}
+	if !p.Use(e) {
+		t.Error("default counter does not trust a fresh entry")
+	}
+	p.Train(e, false)
+	p.Train(e, false)
+	if p.Use(e) {
+		t.Error("default counter still trusts after two mispredictions")
+	}
+}

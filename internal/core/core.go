@@ -1,0 +1,254 @@
+// Package core is the high-level entry point to the paper's contribution:
+// profile-guided classification for value prediction. It composes the
+// lower-level packages (vm, profiler, annotate, predictor, classify, vpsim,
+// ilp) into the three-phase pipeline of figure 3.1 —
+//
+//	compile → profile (n training inputs) → annotate (threshold directives)
+//
+// — and into evaluation runs that compare the profile-guided scheme against
+// the hardware-only saturating-counter classifier on any program image.
+//
+// The command-line tools and examples are thin wrappers over this package;
+// downstream users who want "give me an annotated binary and tell me whether
+// profiling beat the counters" start here.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/classify"
+	"repro/internal/ilp"
+	"repro/internal/predictor"
+	"repro/internal/profiler"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/vpsim"
+)
+
+// Config parameterizes a Pipeline. The zero value selects the paper's
+// canonical configuration.
+type Config struct {
+	// Threshold is the prediction-accuracy threshold in percent for the
+	// annotation phase; zero selects 90 (the paper's running example).
+	Threshold float64
+	// StrideThreshold selects between "stride" and "last-value"
+	// directives; zero selects the paper's 50% heuristic.
+	StrideThreshold float64
+	// Table is the finite prediction-table geometry for evaluation; the
+	// zero value selects the paper's 512-entry 2-way table.
+	Table predictor.TableConfig
+	// Counter is the hardware classifier automaton; the zero value
+	// selects the 2-bit eager scheme.
+	Counter classify.SatCounter
+	// Machine is the abstract-machine model for ILP measurement; the
+	// zero value selects the paper's 40-entry window, unit latency,
+	// 1-cycle penalty.
+	Machine ilp.Config
+	// VM bounds program execution (memory, instruction budget).
+	VM vm.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 90
+	}
+	if c.StrideThreshold == 0 {
+		c.StrideThreshold = 50
+	}
+	if c.Table == (predictor.TableConfig{}) {
+		c.Table = predictor.DefaultTableConfig
+	}
+	if c.Counter == (classify.SatCounter{}) {
+		c.Counter = classify.DefaultSatCounter
+	}
+	if c.Machine == (ilp.Config{}) {
+		c.Machine = ilp.DefaultConfig
+	}
+	return c
+}
+
+// Pipeline drives the paper's tool flow for one program.
+type Pipeline struct {
+	cfg Config
+	// Program is the phase-1 output: the ordinarily compiled image.
+	Program *program.Program
+	// Image is the phase-2 output: the (possibly merged) profile image.
+	Image *profiler.Image
+	// Annotated is the phase-3 output: the directive-tagged image.
+	Annotated *program.Program
+	// AnnotateStats reports what the annotation pass tagged.
+	AnnotateStats annotate.Stats
+}
+
+// NewPipeline wraps a compiled program image (phase 1 of figure 3.1).
+func NewPipeline(p *program.Program, cfg Config) (*Pipeline, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg.withDefaults(), Program: p}, nil
+}
+
+// TrainingRun describes one profiling execution: a mutation applied to a
+// fresh copy of the program's data segment, standing in for "different input
+// parameters and input files". A nil mutation profiles the image as-is.
+type TrainingRun struct {
+	Name   string
+	Mutate func(data []int64)
+}
+
+// Profile runs phase 2: it executes the program once per training run under
+// the profiling collector and merges the per-run images. With no runs given
+// it profiles the unmodified program once.
+func (pl *Pipeline) Profile(runs ...TrainingRun) error {
+	if len(runs) == 0 {
+		runs = []TrainingRun{{Name: "default"}}
+	}
+	images := make([]*profiler.Image, 0, len(runs))
+	for i, run := range runs {
+		p := pl.Program
+		if run.Mutate != nil {
+			p = pl.Program.Clone()
+			run.Mutate(p.Data)
+		}
+		name := run.Name
+		if name == "" {
+			name = fmt.Sprintf("run%d", i+1)
+		}
+		col := profiler.NewCollector()
+		if err := pl.execute(p, col); err != nil {
+			return fmt.Errorf("core: profile run %q: %w", name, err)
+		}
+		images = append(images, col.Image(pl.Program.Name, name))
+	}
+	merged, err := profiler.Merge(images...)
+	if err != nil {
+		return err
+	}
+	pl.Image = merged
+	return nil
+}
+
+// UseImage installs an externally collected profile image (e.g. loaded from
+// a vpprof file) instead of running Profile.
+func (pl *Pipeline) UseImage(im *profiler.Image) error {
+	if im == nil {
+		return fmt.Errorf("core: nil profile image")
+	}
+	pl.Image = im
+	return nil
+}
+
+// Annotate runs phase 3: the compiler pass that inserts directives at the
+// configured threshold.
+func (pl *Pipeline) Annotate() error {
+	if pl.Image == nil {
+		return fmt.Errorf("core: Annotate before Profile")
+	}
+	out, st, err := annotate.Apply(pl.Program, pl.Image, annotate.Options{
+		AccuracyThreshold: pl.cfg.Threshold,
+		StrideThreshold:   pl.cfg.StrideThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	pl.Annotated, pl.AnnotateStats = out, st
+	return nil
+}
+
+// Evaluation is the outcome of one classifier-comparison run.
+type Evaluation struct {
+	// Counters and Profile are the prediction statistics of the two
+	// classification mechanisms on the configured finite table.
+	Counters vpsim.Stats
+	Profile  vpsim.Stats
+	// Hybrid is the profile scheme on the two-table hybrid predictor.
+	Hybrid vpsim.Stats
+	// BaseILP, CountersILP and ProfileILP are the abstract-machine
+	// results without value prediction and under each classifier.
+	BaseILP     ilp.Result
+	CountersILP ilp.Result
+	ProfileILP  ilp.Result
+}
+
+// CountersGain and ProfileGain report the ILP increase over the
+// no-prediction baseline in percent (Table 5.2's quantity).
+func (e Evaluation) CountersGain() float64 { return e.CountersILP.SpeedupOver(e.BaseILP) }
+
+// ProfileGain reports the profile-guided ILP increase in percent.
+func (e Evaluation) ProfileGain() float64 { return e.ProfileILP.SpeedupOver(e.BaseILP) }
+
+// Evaluate compares the two classification mechanisms on the pipeline's
+// program: the saturating-counter baseline runs the plain image, the profile
+// scheme runs the annotated image, both over the same finite stride table
+// geometry and the same abstract machine.
+func (pl *Pipeline) Evaluate() (*Evaluation, error) {
+	if pl.Annotated == nil {
+		return nil, fmt.Errorf("core: Evaluate before Annotate")
+	}
+	var ev Evaluation
+
+	// Saturating counters + ILP on the plain image.
+	fsmPolicy, err := classify.NewFSMPolicy(pl.cfg.Counter)
+	if err != nil {
+		return nil, err
+	}
+	fsmTable, err := predictor.NewTable(predictor.Stride, pl.cfg.Table)
+	if err != nil {
+		return nil, err
+	}
+	fsmEngine := vpsim.NewFSMEngine(fsmTable, fsmPolicy)
+	fsmMachine, err := ilp.New(pl.cfg.Machine, fsmEngine)
+	if err != nil {
+		return nil, err
+	}
+	baseMachine, err := ilp.New(pl.cfg.Machine, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.execute(pl.Program, fsmMachine, baseMachine); err != nil {
+		return nil, err
+	}
+	ev.Counters = fsmEngine.Stats()
+	ev.CountersILP = fsmMachine.Result()
+	ev.BaseILP = baseMachine.Result()
+
+	// Profile directives + ILP on the annotated image.
+	profTable, err := predictor.NewTable(predictor.Stride, pl.cfg.Table)
+	if err != nil {
+		return nil, err
+	}
+	profEngine := vpsim.NewProfileEngine(profTable)
+	profMachine, err := ilp.New(pl.cfg.Machine, profEngine)
+	if err != nil {
+		return nil, err
+	}
+	hybrid, err := predictor.NewHybrid(predictor.DefaultHybridConfig)
+	if err != nil {
+		return nil, err
+	}
+	hybridEngine := vpsim.NewHybridEngine(hybrid)
+	if err := pl.execute(pl.Annotated, profMachine, hybridEngine); err != nil {
+		return nil, err
+	}
+	ev.Profile = profEngine.Stats()
+	ev.ProfileILP = profMachine.Result()
+	ev.Hybrid = hybridEngine.Stats()
+	return &ev, nil
+}
+
+// execute runs one image to completion with the consumers attached.
+func (pl *Pipeline) execute(p *program.Program, consumers ...trace.Consumer) error {
+	m, err := vm.New(p, pl.cfg.VM)
+	if err != nil {
+		return err
+	}
+	for _, c := range consumers {
+		m.Attach(c)
+	}
+	return m.Run()
+}

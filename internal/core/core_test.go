@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/profiler"
+	"repro/internal/program"
+)
+
+// testProgram is a loop with one stride-predictable chain (the index) and
+// one data-dependent chain (the accumulator over a data array).
+const testSrc = `
+main:
+	ldi r1, 0
+	ldi r2, 128
+	ldi r3, 0
+loop:
+	andi r4, r1, 63
+	ld r5, arr(r4)
+	add r3, r3, r5
+	addi r1, r1, 1
+	blt r1, r2, loop
+	st r3, out(zero)
+	halt
+.data
+arr:	.word 5, 17, 3, 99, 12, 4, 250, 7, 31, 2, 88, 41, 6, 13, 77, 29
+	.word 55, 1, 23, 9, 14, 62, 8, 45, 90, 3, 27, 66, 11, 38, 72, 19
+	.word 44, 95, 21, 7, 58, 33, 80, 16, 49, 2, 69, 24, 91, 36, 83, 10
+	.word 53, 28, 75, 40, 87, 32, 79, 64, 15, 50, 97, 42, 89, 34, 81, 26
+out:	.word 0
+`
+
+func testProg(t *testing.T) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble("coretest", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineFullFlow(t *testing.T) {
+	pl, err := NewPipeline(testProg(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: three training inputs with genuinely different data.
+	runs := []TrainingRun{
+		{Name: "a"},
+		{Name: "b", Mutate: func(d []int64) {
+			for i := range d {
+				d[i] = d[i]*3 + 1
+			}
+		}},
+		{Name: "c", Mutate: func(d []int64) {
+			for i := range d {
+				d[i] = d[i] ^ 0x5a5a
+			}
+		}},
+	}
+	if err := pl.Profile(runs...); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Image == nil || len(pl.Image.Entries) == 0 {
+		t.Fatal("no profile image produced")
+	}
+	// Phase 3.
+	if err := pl.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.AnnotateStats.Candidates() == 0 {
+		t.Fatal("nothing tagged; the index chain should clear 90%")
+	}
+	// The index increment (addi at address 6) must be stride-tagged; the
+	// data-dependent accumulator (add at 5) must not be tagged.
+	var addiAddr, addAddr int64 = -1, -1
+	for a, ins := range pl.Annotated.Text {
+		switch ins.Op {
+		case isa.OpADDI:
+			addiAddr = int64(a)
+		case isa.OpADD:
+			addAddr = int64(a)
+		}
+	}
+	if pl.Annotated.Text[addiAddr].Dir != isa.DirStride {
+		t.Errorf("index increment not stride-tagged: %v", pl.Annotated.Text[addiAddr].Dir)
+	}
+	if pl.Annotated.Text[addAddr].Dir != isa.DirNone {
+		t.Errorf("data-dependent accumulator tagged: %v", pl.Annotated.Text[addAddr].Dir)
+	}
+
+	// Evaluation.
+	ev, err := pl.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.BaseILP.Instructions == 0 || ev.BaseILP.ILP() <= 0 {
+		t.Fatal("baseline ILP not measured")
+	}
+	if ev.Profile.UsedIncorrect > ev.Counters.UsedIncorrect {
+		t.Errorf("profile mispredicted more than counters: %d vs %d",
+			ev.Profile.UsedIncorrect, ev.Counters.UsedIncorrect)
+	}
+	if ev.Profile.Candidates >= ev.Counters.Candidates {
+		t.Errorf("profile admitted %d candidates, counters %d; gating broken",
+			ev.Profile.Candidates, ev.Counters.Candidates)
+	}
+	// The test loop's critical path is the data-dependent accumulator,
+	// which no predictor collapses, so the ILP gain is near zero — but
+	// the 1-cycle penalty must not produce a meaningful loss either.
+	if ev.ProfileGain() < -5 {
+		t.Errorf("profile ILP gain = %.1f%%, penalty overwhelmed the scheme", ev.ProfileGain())
+	}
+	if ev.Profile.PredictionAccuracy() < ev.Counters.PredictionAccuracy() {
+		t.Errorf("profile accuracy %.1f%% below counters %.1f%%",
+			ev.Profile.PredictionAccuracy(), ev.Counters.PredictionAccuracy())
+	}
+	if ev.Hybrid.ValueInstructions == 0 {
+		t.Error("hybrid evaluation did not run")
+	}
+}
+
+func TestPipelineOrderingErrors(t *testing.T) {
+	pl, err := NewPipeline(testProg(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Annotate(); err == nil {
+		t.Error("Annotate before Profile accepted")
+	}
+	if _, err := pl.Evaluate(); err == nil {
+		t.Error("Evaluate before Annotate accepted")
+	}
+}
+
+func TestPipelineRejectsBadInput(t *testing.T) {
+	if _, err := NewPipeline(nil, Config{}); err == nil {
+		t.Error("nil program accepted")
+	}
+	bad := testProg(t)
+	bad.Entry = 10_000
+	if _, err := NewPipeline(bad, Config{}); err == nil {
+		t.Error("invalid program accepted")
+	}
+	pl, _ := NewPipeline(testProg(t), Config{})
+	if err := pl.UseImage(nil); err == nil {
+		t.Error("nil image accepted")
+	}
+}
+
+func TestPipelineUseExternalImage(t *testing.T) {
+	pl, err := NewPipeline(testProg(t), Config{Threshold: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build an image tagging only the andi (address 3).
+	im := &profiler.Image{
+		Program: "coretest",
+		Entries: []profiler.Entry{
+			{Addr: 3, Executions: 100, Attempts: 99, CorrectStride: 99, NonZeroStrideCorrect: 99},
+		},
+	}
+	if err := pl.UseImage(im); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Annotated.Text[3].Dir != isa.DirStride {
+		t.Errorf("external image not honored: %v", pl.Annotated.Text[3].Dir)
+	}
+	if pl.AnnotateStats.Candidates() != 1 {
+		t.Errorf("candidates = %d", pl.AnnotateStats.Candidates())
+	}
+}
+
+func TestPipelineDefaultProfileRun(t *testing.T) {
+	pl, err := NewPipeline(testProg(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Profile(); err != nil { // zero runs → one default run
+		t.Fatal(err)
+	}
+	if pl.Image == nil {
+		t.Fatal("no image")
+	}
+	if pl.Image.Input != "default" {
+		t.Errorf("input label = %q", pl.Image.Input)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Threshold != 90 || c.StrideThreshold != 50 {
+		t.Errorf("threshold defaults = %g/%g", c.Threshold, c.StrideThreshold)
+	}
+	if c.Table.Entries != 512 || c.Table.Assoc != 2 {
+		t.Errorf("table default = %+v", c.Table)
+	}
+	if c.Machine.WindowSize != 40 {
+		t.Errorf("machine default = %+v", c.Machine)
+	}
+	// Explicit values survive.
+	c2 := Config{Threshold: 70}.withDefaults()
+	if c2.Threshold != 70 {
+		t.Error("explicit threshold overwritten")
+	}
+}

@@ -1,0 +1,210 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, built on the pipeline the paper describes: train
+// (profile under n training inputs) → annotate (threshold directives) →
+// evaluate (run under a disjoint input against the FSM baseline and the
+// profile-guided configurations). The drivers are shared by cmd/vpreport and
+// the repository's benchmark harness.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/annotate"
+	"repro/internal/profiler"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DefaultThresholds are the profiling thresholds the paper sweeps.
+var DefaultThresholds = []float64{90, 80, 70, 60, 50}
+
+// DefaultTrainInputs is the paper's n=5 distinct profile inputs.
+const DefaultTrainInputs = 5
+
+// Context carries experiment configuration and memoizes the expensive
+// pipeline stages (training profiles, evaluation collectors, annotated
+// programs) across experiments — the same way the paper's tool flow reuses
+// one profile image for every threshold.
+type Context struct {
+	// NumTrainInputs is n, the number of training inputs profiled.
+	NumTrainInputs int
+	// Thresholds is the accuracy-threshold sweep.
+	Thresholds []float64
+
+	mu         sync.Mutex
+	trainCache map[string][]*profiler.Image
+	mergeCache map[string]*profiler.Image
+	evalCache  map[string]*profiler.Collector
+	annoCache  map[annoKey]*annotated
+}
+
+type annoKey struct {
+	bench string
+	th    float64
+}
+
+type annotated struct {
+	prog  *program.Program
+	stats annotate.Stats
+}
+
+// NewContext returns a Context with the paper's defaults.
+func NewContext() *Context {
+	return &Context{
+		NumTrainInputs: DefaultTrainInputs,
+		Thresholds:     DefaultThresholds,
+		trainCache:     make(map[string][]*profiler.Image),
+		mergeCache:     make(map[string]*profiler.Image),
+		evalCache:      make(map[string]*profiler.Collector),
+		annoCache:      make(map[annoKey]*annotated),
+	}
+}
+
+// TrainImages profiles the benchmark under each training input (phase 2 of
+// figure 3.1, repeated n times) and returns the per-run profile images.
+func (c *Context) TrainImages(bench string) ([]*profiler.Image, error) {
+	c.mu.Lock()
+	if ims, ok := c.trainCache[bench]; ok {
+		c.mu.Unlock()
+		return ims, nil
+	}
+	c.mu.Unlock()
+
+	inputs := workload.TrainingInputs(c.NumTrainInputs)
+	ims := make([]*profiler.Image, len(inputs))
+	for i, in := range inputs {
+		col := profiler.NewCollector()
+		if _, err := workload.BuildAndRun(bench, in, col); err != nil {
+			return nil, fmt.Errorf("experiments: profile %s under %s: %w", bench, in, err)
+		}
+		ims[i] = col.Image(bench, in.String())
+	}
+	c.mu.Lock()
+	c.trainCache[bench] = ims
+	c.mu.Unlock()
+	return ims, nil
+}
+
+// MergedTrainImage condenses the n training profiles into the single image
+// handed to the compiler.
+func (c *Context) MergedTrainImage(bench string) (*profiler.Image, error) {
+	c.mu.Lock()
+	if im, ok := c.mergeCache[bench]; ok {
+		c.mu.Unlock()
+		return im, nil
+	}
+	c.mu.Unlock()
+	ims, err := c.TrainImages(bench)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := profiler.Merge(ims...)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.mergeCache[bench] = merged
+	c.mu.Unlock()
+	return merged, nil
+}
+
+// EvalCollector profiles the benchmark under the evaluation input — the
+// "real user input" disjoint from every training input. Table 2.1 and
+// figures 2.2/2.3 read it directly; other experiments re-run the evaluation
+// input through prediction engines.
+func (c *Context) EvalCollector(bench string) (*profiler.Collector, error) {
+	c.mu.Lock()
+	if col, ok := c.evalCache[bench]; ok {
+		c.mu.Unlock()
+		return col, nil
+	}
+	c.mu.Unlock()
+	col := profiler.NewCollector()
+	if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), col); err != nil {
+		return nil, fmt.Errorf("experiments: evaluate %s: %w", bench, err)
+	}
+	c.mu.Lock()
+	c.evalCache[bench] = col
+	c.mu.Unlock()
+	return col, nil
+}
+
+// Annotated returns the benchmark's program annotated at the given accuracy
+// threshold from the merged training profile, plus the tagging statistics.
+func (c *Context) Annotated(bench string, threshold float64) (*program.Program, annotate.Stats, error) {
+	key := annoKey{bench, threshold}
+	c.mu.Lock()
+	if a, ok := c.annoCache[key]; ok {
+		c.mu.Unlock()
+		return a.prog, a.stats, nil
+	}
+	c.mu.Unlock()
+
+	im, err := c.MergedTrainImage(bench)
+	if err != nil {
+		return nil, annotate.Stats{}, err
+	}
+	p, err := workload.Build(bench, workload.EvaluationInput())
+	if err != nil {
+		return nil, annotate.Stats{}, err
+	}
+	opts := annotate.DefaultOptions
+	opts.AccuracyThreshold = threshold
+	ap, st, err := annotate.Apply(p, im, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	c.mu.Lock()
+	c.annoCache[key] = &annotated{prog: ap, stats: st}
+	c.mu.Unlock()
+	return ap, st, nil
+}
+
+// RunEvalPlain runs the benchmark's unannotated program under the evaluation
+// input, feeding the consumers.
+func (c *Context) RunEvalPlain(bench string, consumers ...trace.Consumer) error {
+	_, err := workload.BuildAndRun(bench, workload.EvaluationInput(), consumers...)
+	return err
+}
+
+// RunEvalAnnotated runs the threshold-annotated program under the evaluation
+// input, feeding the consumers.
+func (c *Context) RunEvalAnnotated(bench string, threshold float64, consumers ...trace.Consumer) error {
+	p, _, err := c.Annotated(bench, threshold)
+	if err != nil {
+		return err
+	}
+	_, err = workload.Run(p, consumers...)
+	return err
+}
+
+// forEachBench runs f once per benchmark, concurrently, with i the
+// benchmark's position (so drivers can fill order-stable result slices).
+// The heavy drivers use it to spread the per-benchmark simulations across
+// cores; all Context caches are safe for concurrent use.
+func forEachBench(benches []string, f func(i int, bench string) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(benches))
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			errs[i] = f(i, b)
+		}(i, b)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Result is one regenerated paper artifact.
+type Result interface {
+	// ID is the experiment identifier ("table2.1", "fig5.3", …).
+	ID() string
+	// Title describes the artifact.
+	Title() string
+	// Render formats the artifact as text.
+	Render() string
+}

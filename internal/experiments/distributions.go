@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BenchHistogram is one benchmark's decile distribution, the building block
+// of figures 2.2, 2.3, 4.1, 4.2 and 4.3.
+type BenchHistogram struct {
+	Bench string
+	// Pct[i] is the share of the population falling in decile i.
+	Pct [metrics.NumBins]float64
+	// N is the population size (static instructions / vector coordinates).
+	N int
+}
+
+// Distribution is a complete per-benchmark histogram figure.
+type Distribution struct {
+	id, title string
+	// Lower reports whether mass in the LOW deciles is the "good" shape
+	// (true for the distance metrics of figures 4.1–4.3).
+	Histograms []BenchHistogram
+	Average    [metrics.NumBins]float64
+}
+
+// ID implements Result.
+func (d *Distribution) ID() string { return d.id }
+
+// Title implements Result.
+func (d *Distribution) Title() string { return d.title }
+
+// Render implements Result.
+func (d *Distribution) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", d.title)
+	headers := []string{"benchmark"}
+	for i := 0; i < metrics.NumBins; i++ {
+		headers = append(headers, metrics.BinLabel(i))
+	}
+	headers = append(headers, "n")
+	tb := stats.NewTable("", headers...)
+	for _, h := range d.Histograms {
+		cells := []any{h.Bench}
+		for _, p := range h.Pct {
+			cells = append(cells, fmt.Sprintf("%.0f", p))
+		}
+		cells = append(cells, h.N)
+		tb.AddRow(cells...)
+	}
+	cells := []any{"average"}
+	for _, p := range d.Average {
+		cells = append(cells, fmt.Sprintf("%.0f", p))
+	}
+	cells = append(cells, "")
+	tb.AddRow(cells...)
+	b.WriteString(tb.Render())
+	return b.String()
+}
+
+func (d *Distribution) computeAverage() {
+	if len(d.Histograms) == 0 {
+		return
+	}
+	for i := 0; i < metrics.NumBins; i++ {
+		s := 0.0
+		for _, h := range d.Histograms {
+			s += h.Pct[i]
+		}
+		d.Average[i] = s / float64(len(d.Histograms))
+	}
+}
+
+// RunFigure22 regenerates figure 2.2: the spread of static instructions by
+// their value-prediction accuracy (stride predictor, infinite table), per
+// benchmark. The paper's headline shape: ≈30% of instructions above 90%
+// accuracy, ≈40% below 10% — a bimodal distribution.
+func RunFigure22(c *Context) (*Distribution, error) {
+	return perInstructionDistribution(c,
+		"fig2.2",
+		"Figure 2.2 — Spread of instructions by value-prediction accuracy (deciles, % of static instructions)",
+		func(s *profiler.InstStat) (float64, bool) {
+			if s.TotalAttempts() == 0 {
+				return 0, false
+			}
+			return s.Accuracy(), true
+		})
+}
+
+// RunFigure23 regenerates figure 2.3: the spread of static instructions by
+// stride efficiency ratio — most instructions sit at the extremes (pure
+// last-value reusers vs pure striders), motivating the hybrid predictor.
+func RunFigure23(c *Context) (*Distribution, error) {
+	return perInstructionDistribution(c,
+		"fig2.3",
+		"Figure 2.3 — Spread of instructions by stride efficiency ratio (deciles, % of static instructions)",
+		func(s *profiler.InstStat) (float64, bool) {
+			if s.TotalCorrectStride() == 0 {
+				return 0, false
+			}
+			return s.StrideEfficiency(), true
+		})
+}
+
+func perInstructionDistribution(c *Context, id, title string, f func(*profiler.InstStat) (float64, bool)) (*Distribution, error) {
+	d := &Distribution{id: id, title: title}
+	for _, bench := range workload.AllNames() {
+		col, err := c.EvalCollector(bench)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		col.ForEach(func(s *profiler.InstStat) {
+			if v, ok := f(s); ok {
+				vals = append(vals, v)
+			}
+		})
+		d.Histograms = append(d.Histograms, BenchHistogram{
+			Bench: bench,
+			Pct:   metrics.HistogramPct(vals),
+			N:     len(vals),
+		})
+	}
+	d.computeAverage()
+	return d, nil
+}
+
+// RunFigure41 regenerates figure 4.1: the spread of the coordinates of
+// M(V)max, the maximum pairwise distance between per-instruction accuracy
+// vectors collected under n different inputs. Mass concentrated in the low
+// deciles means the profile is input-stable.
+func RunFigure41(c *Context) (*Distribution, error) {
+	return correlationDistribution(c, "fig4.1",
+		fmt.Sprintf("Figure 4.1 — Spread of M(V)max coordinates (accuracy, n=%d inputs)", c.NumTrainInputs),
+		metrics.Accuracy, (*metrics.VectorSet).MMax)
+}
+
+// RunFigure42 regenerates figure 4.2: the spread of M(V)average.
+func RunFigure42(c *Context) (*Distribution, error) {
+	return correlationDistribution(c, "fig4.2",
+		fmt.Sprintf("Figure 4.2 — Spread of M(V)average coordinates (accuracy, n=%d inputs)", c.NumTrainInputs),
+		metrics.Accuracy, (*metrics.VectorSet).MAverage)
+}
+
+// RunFigure43 regenerates figure 4.3: the spread of M(S)average over
+// stride-efficiency vectors.
+func RunFigure43(c *Context) (*Distribution, error) {
+	return correlationDistribution(c, "fig4.3",
+		fmt.Sprintf("Figure 4.3 — Spread of M(S)average coordinates (stride efficiency, n=%d inputs)", c.NumTrainInputs),
+		metrics.StrideEfficiency, (*metrics.VectorSet).MAverage)
+}
+
+func correlationDistribution(c *Context, id, title string, q metrics.Quantity, metric func(*metrics.VectorSet) []float64) (*Distribution, error) {
+	d := &Distribution{id: id, title: title}
+	for _, bench := range workload.Names() {
+		ims, err := c.TrainImages(bench)
+		if err != nil {
+			return nil, err
+		}
+		vs, err := metrics.Align(ims, q)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", id, bench, err)
+		}
+		vals := metric(vs)
+		d.Histograms = append(d.Histograms, BenchHistogram{
+			Bench: bench,
+			Pct:   metrics.HistogramPct(vals),
+			N:     len(vals),
+		})
+	}
+	d.computeAverage()
+	return d, nil
+}

@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The experiment drivers are exercised against the real benchmark suite at
+// a reduced training-input count; assertions target the paper's qualitative
+// shapes, not absolute numbers (which depend on the synthetic substrate).
+
+var (
+	ctxOnce sync.Once
+	ctx     *Context
+)
+
+func testCtx(t *testing.T) *Context {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment integration tests skipped in -short mode")
+	}
+	ctxOnce.Do(func() {
+		ctx = NewContext()
+		ctx.NumTrainInputs = 3
+	})
+	return ctx
+}
+
+func TestTable21Shapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunTable21(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byCat := map[string]Table21Row{}
+	for _, r := range res.Rows {
+		byCat[r.Group+"/"+r.Category] = r
+		if r.Attempts == 0 && r.Group == "Spec-int95" {
+			t.Errorf("row %s/%s has no attempts", r.Group, r.Category)
+		}
+	}
+	alu := byCat["Spec-int95/integer ALU"]
+	// The paper's central observation: substantial predictability, with
+	// the stride predictor at or above the last-value predictor on
+	// integer ALU code (where induction variables live).
+	if alu.Stride < 30 {
+		t.Errorf("integer ALU stride accuracy %.1f%% implausibly low", alu.Stride)
+	}
+	if alu.Stride < alu.Last {
+		t.Errorf("stride (%.1f%%) below last-value (%.1f%%) on integer ALU", alu.Stride, alu.Last)
+	}
+	if !strings.Contains(res.Render(), "Spec-fp95 comp") {
+		t.Error("render missing FP computation phase rows")
+	}
+	if res.ID() != "table2.1" {
+		t.Error("wrong ID")
+	}
+}
+
+func TestFigure22Bimodal(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunFigure22(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Histograms) != len(workload.AllNames()) {
+		t.Fatalf("histogram count = %d", len(res.Histograms))
+	}
+	// Figure 2.2's shape: the distribution is bimodal — the two extreme
+	// deciles together hold most static instructions (paper: ≈40% below
+	// 10%, ≈30% above 90%).
+	extremes := res.Average[0] + res.Average[9]
+	if extremes < 55 {
+		t.Errorf("extreme deciles hold only %.0f%% of instructions; expected a bimodal spread", extremes)
+	}
+	if res.Average[0] < 15 || res.Average[9] < 15 {
+		t.Errorf("average histogram not bimodal: low=%.0f%% high=%.0f%%", res.Average[0], res.Average[9])
+	}
+}
+
+func TestFigure23Extremes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunFigure23(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 2.5: instructions split into near-pure last-value reusers
+	// and near-pure striders.
+	extremes := res.Average[0] + res.Average[9]
+	if extremes < 60 {
+		t.Errorf("stride-efficiency extremes hold only %.0f%%", extremes)
+	}
+}
+
+func TestFigure41InputStability(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunFigure41(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 4's claim: profiles are input-stable, so the mass of
+	// M(V)max sits in the lowest intervals.
+	if res.Average[0] < 70 {
+		t.Errorf("only %.0f%% of M(V)max coordinates in [0,10]; profiles unstable", res.Average[0])
+	}
+	for _, h := range res.Histograms {
+		if h.N == 0 {
+			t.Errorf("%s: empty vector set", h.Bench)
+		}
+	}
+}
+
+func TestFigure42DominatedByFigure41(t *testing.T) {
+	c := testCtx(t)
+	r41, err := RunFigure41(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r42, err := RunFigure42(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M(V)average ≤ M(V)max coordinate-wise, so the average metric's mass
+	// in the lowest bin can only grow.
+	if r42.Average[0] < r41.Average[0]-1e-9 {
+		t.Errorf("M(V)average lowest bin %.0f%% below M(V)max's %.0f%%", r42.Average[0], r41.Average[0])
+	}
+}
+
+func TestFigure43InputStability(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunFigure43(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Average[0] < 50 {
+		t.Errorf("M(S)average lowest bin only %.0f%%", res.Average[0])
+	}
+}
+
+func TestClassAccuracyShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunClassAccuracy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(workload.Names()) {
+		t.Fatalf("row count = %d", len(res.Rows))
+	}
+	avg := func(pick func(ClassAccuracyRow) []float64, idx int) float64 {
+		s := 0.0
+		for _, r := range res.Rows {
+			s += pick(r)[idx]
+		}
+		return s / float64(len(res.Rows))
+	}
+	mis := func(r ClassAccuracyRow) []float64 { return r.Mispred }
+	cor := func(r ClassAccuracyRow) []float64 { return r.CorrectOK }
+
+	// Figure 5.1's shape: at strict thresholds the profile scheme filters
+	// more mispredictions than the FSM; the advantage shrinks as the
+	// threshold loosens.
+	fsmMis, prof90Mis, prof50Mis := avg(mis, 0), avg(mis, 1), avg(mis, 5)
+	if prof90Mis <= fsmMis {
+		t.Errorf("profile@90 (%.1f%%) does not beat FSM (%.1f%%) at filtering mispredictions", prof90Mis, fsmMis)
+	}
+	if prof90Mis < prof50Mis {
+		t.Errorf("misprediction filtering should tighten with the threshold: 90%%=%.1f < 50%%=%.1f", prof90Mis, prof50Mis)
+	}
+	// Figure 5.2's shape: loosening the threshold admits more correct
+	// predictions.
+	if avg(cor, 5) < avg(cor, 1) {
+		t.Errorf("correct-prediction admission should grow as the threshold drops")
+	}
+	if !strings.Contains(res.Render(), "average") {
+		t.Error("render missing average row")
+	}
+}
+
+func TestTable51Shapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunTable51(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 5.1's shape: the candidate fraction is well below 100% and
+	// grows monotonically as the threshold loosens.
+	for i, v := range res.Dynamic {
+		if v <= 0 || v >= 95 {
+			t.Errorf("dynamic fraction at th=%.0f is %.1f%%", res.Thresholds[i], v)
+		}
+		if i > 0 && v+1e-9 < res.Dynamic[i-1] {
+			t.Errorf("dynamic fraction not monotone: %.1f%% after %.1f%%", v, res.Dynamic[i-1])
+		}
+	}
+	for _, bench := range workload.Names() {
+		if _, ok := res.PerBench[bench]; !ok {
+			t.Errorf("missing per-benchmark row for %s", bench)
+		}
+	}
+}
+
+func TestFiniteTableShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunFiniteTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]FiniteTableRow{}
+	for _, r := range res.Rows {
+		rows[r.Bench] = r
+	}
+	// The paper's headline: large-working-set benchmarks gain correct
+	// predictions AND shed mispredictions under profile classification.
+	for _, bench := range []string{"go", "gcc"} {
+		r := rows[bench]
+		if r.DeltaCorrect[0] <= 0 {
+			t.Errorf("%s: correct predictions did not increase at th=90 (%.1f%%)", bench, r.DeltaCorrect[0])
+		}
+		if r.DeltaIncorrect[0] >= 0 {
+			t.Errorf("%s: mispredictions did not decrease at th=90 (%.1f%%)", bench, r.DeltaIncorrect[0])
+		}
+	}
+	// Small-working-set benchmarks have little to gain: mgrid's correct
+	// predictions stay essentially flat.
+	if m := rows["mgrid"]; m.DeltaCorrect[0] > 5 {
+		t.Errorf("mgrid unexpectedly gained %.1f%% correct predictions", m.DeltaCorrect[0])
+	}
+	// Profile classification relieves table pressure: fewer evictions
+	// than the FSM on the pressure-heavy gcc.
+	if g := rows["gcc"]; g.ProfEvictions[0] >= g.FSMEvictions {
+		t.Errorf("gcc evictions did not drop: FSM %d, profile %d", g.FSMEvictions, g.ProfEvictions[0])
+	}
+}
+
+func TestTable52Shapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunTable52(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Table52Row{}
+	for _, r := range res.Rows {
+		rows[r.Bench] = r
+		if r.BaseILP <= 1 {
+			t.Errorf("%s: base ILP %.2f implausible", r.Bench, r.BaseILP)
+		}
+	}
+	// Table 5.2's shape: the interpreter-style benchmarks with long
+	// predictable chains gain enormously; list/database workloads gain
+	// substantially; the rest modestly.
+	if m := rows["m88ksim"]; m.Prof[0] < 200 {
+		t.Errorf("m88ksim profile ILP gain = %.0f%%, want the paper's ≈500%% class", m.Prof[0])
+	}
+	if v := rows["vortex"]; v.Prof[0] < 80 {
+		t.Errorf("vortex profile ILP gain = %.0f%%, want the paper's ≈170%% class", v.Prof[0])
+	}
+	if l := rows["li"]; l.Prof[0] < 10 {
+		t.Errorf("li profile ILP gain = %.0f%%", l.Prof[0])
+	}
+	// Value prediction with either classifier never craters ILP: the
+	// 1-cycle penalty keeps losses small.
+	for _, r := range res.Rows {
+		if r.SC < -20 {
+			t.Errorf("%s: VP+SC lost %.0f%% ILP", r.Bench, r.SC)
+		}
+	}
+}
+
+func TestRegistryCoversPaper(t *testing.T) {
+	want := []string{
+		"table2.1", "fig2.2", "fig2.3",
+		"fig4.1", "fig4.2", "fig4.3",
+		"fig5.1+5.2", "table5.1", "fig5.3+5.4", "table5.2",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegistryByID(t *testing.T) {
+	if r, err := ByID("table5.2"); err != nil || r.ID != "table5.2" {
+		t.Errorf("ByID(table5.2) = %v, %v", r.ID, err)
+	}
+	// Partial ids resolve to their combined driver.
+	if r, err := ByID("fig5.1"); err != nil || r.ID != "fig5.1+5.2" {
+		t.Errorf("ByID(fig5.1) = %v, %v", r.ID, err)
+	}
+	if _, err := ByID("table9.9"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestAnnotatedProgramsCached(t *testing.T) {
+	c := testCtx(t)
+	p1, _, err := c.Annotated("compress", 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := c.Annotated("compress", 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("annotation cache miss for identical key")
+	}
+	p3, _, err := c.Annotated("compress", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p3 {
+		t.Error("different thresholds shared a program")
+	}
+}

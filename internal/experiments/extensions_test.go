@@ -1,0 +1,179 @@
+package experiments
+
+import "testing"
+
+func TestExtCritPathShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunExtCritPath(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]ExtCritPathRow{}
+	for _, r := range res.Rows {
+		rows[r.Bench] = r
+		if r.PathLength <= 0 || r.PathLength > r.Instructions {
+			t.Errorf("%s: path length %d outside (0, %d]", r.Bench, r.PathLength, r.Instructions)
+		}
+		if r.DataflowILP < 1 {
+			t.Errorf("%s: dataflow ILP %.2f below 1", r.Bench, r.DataflowILP)
+		}
+	}
+	// Consistency with Table 5.2: the benchmarks whose ILP explodes under
+	// value prediction are exactly those whose critical path is
+	// profile-certified predictable; the flat ones are not.
+	if rows["m88ksim"].Predictable < 70 {
+		t.Errorf("m88ksim critical path only %.1f%% predictable; its ILP row depends on it",
+			rows["m88ksim"].Predictable)
+	}
+	if rows["vortex"].Predictable < 70 {
+		t.Errorf("vortex critical path only %.1f%% predictable", rows["vortex"].Predictable)
+	}
+	if rows["mgrid"].Predictable > 30 {
+		t.Errorf("mgrid critical path %.1f%% predictable, yet its ILP gain is flat",
+			rows["mgrid"].Predictable)
+	}
+	if res.Render() == "" || res.ID() != "ext:critpath" {
+		t.Error("render/id broken")
+	}
+}
+
+func TestExtBranchShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunExtBranch(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.BranchAccuracy <= 50 {
+			t.Errorf("%s: bimodal accuracy %.1f%% no better than chance", r.Bench, r.BranchAccuracy)
+		}
+		// The headline gains must survive realistic branch prediction:
+		// the chains VP collapses are loop bodies whose branches a
+		// bimodal predictor captures.
+		switch r.Bench {
+		case "m88ksim":
+			if r.BimodalGain < 200 {
+				t.Errorf("m88ksim bimodal gain %.0f%%, want the perfect-branch class preserved", r.BimodalGain)
+			}
+		case "vortex":
+			if r.BimodalGain < 80 {
+				t.Errorf("vortex bimodal gain %.0f%%", r.BimodalGain)
+			}
+		}
+	}
+}
+
+func TestExtFCMShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunExtFCM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.FCMAcc < 0 || r.FCMAcc > 100 || r.FCMOnly < 0 || r.FCMOnly > 100 {
+			t.Errorf("%s: out-of-range percentages %+v", r.Bench, r)
+		}
+		// FCM captures repeating contexts beyond strides: on the
+		// list-walking benchmark the per-pass value sequences repeat
+		// exactly, so FCM must dominate stride there.
+		if r.Bench == "li" && r.FCMAcc < r.StrideAcc {
+			t.Errorf("li: FCM (%.1f%%) below stride (%.1f%%); context capture broken",
+				r.FCMAcc, r.StrideAcc)
+		}
+	}
+}
+
+func TestExtStoreValueShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunExtStoreValue(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyPredictable := false
+	for _, r := range res.Rows {
+		if r.StaticStores <= 0 {
+			t.Errorf("%s: no static stores profiled", r.Bench)
+		}
+		if r.Predictable90 > 50 {
+			anyPredictable = true
+		}
+	}
+	if !anyPredictable {
+		t.Error("no benchmark has a majority of predictable stores; the memory-operand generalization claim needs at least one")
+	}
+}
+
+func TestExtSchedShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunExtSched(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyMoved := false
+	for _, r := range res.Rows {
+		if r.Moved > 0 {
+			anyMoved = true
+		}
+		// Scheduling must never be catastrophic: it only reorders
+		// within blocks, so the dataflow machine should see at most
+		// small deltas in either direction.
+		if d := r.Delta(); d < -10 || d > 50 {
+			t.Errorf("%s: scheduling delta %.1f%% implausible", r.Bench, d)
+		}
+	}
+	if !anyMoved {
+		t.Error("the scheduler moved nothing on any benchmark")
+	}
+}
+
+func TestExtHybridShapes(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunExtHybrid(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		// The hybrid must stay in the monolithic table's accuracy class
+		// (both serve only profile-certified instructions).
+		if r.HybAccuracy < r.MonoAccuracy-10 {
+			t.Errorf("%s: hybrid accuracy %.1f%% far below monolithic %.1f%%",
+				r.Bench, r.HybAccuracy, r.MonoAccuracy)
+		}
+		// Directive routing must actually populate both tables on the
+		// benchmarks that tag both classes.
+		if r.Bench == "vortex" && (r.StrideResidency == 0 || r.LastResidency == 0) {
+			t.Errorf("vortex: hybrid residency %d/%d; routing broken",
+				r.StrideResidency, r.LastResidency)
+		}
+	}
+}
+
+func TestExtAutotuneTransfers(t *testing.T) {
+	c := testCtx(t)
+	res, err := RunExtAutotune(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 4's stability claim, operationalized: the training-chosen
+	// threshold must deliver nearly the oracle gain on the evaluation
+	// input for the large-gain benchmarks.
+	for _, r := range res.Rows {
+		if r.BestEvalGain > 50 && r.EvalGain < 0.8*r.BestEvalGain {
+			t.Errorf("%s: tuned threshold %.0f%% delivers %.0f%%, oracle %.0f%% — tuning did not transfer",
+				r.Bench, r.Chosen, r.EvalGain, r.BestEvalGain)
+		}
+	}
+}
+
+func TestExtRegistryResolvable(t *testing.T) {
+	for _, r := range ExtRegistry {
+		got, err := ByID(r.ID)
+		if err != nil || got.ID != r.ID {
+			t.Errorf("ByID(%q) = %v, %v", r.ID, got.ID, err)
+		}
+	}
+	// Partial match works for extensions too.
+	if r, err := ByID("storeval"); err != nil || r.ID != "ext:storeval" {
+		t.Errorf("ByID(storeval) = %v, %v", r.ID, err)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(*Context) (Result, error)
+}
+
+// Registry lists every reproducible artifact, in paper order.
+var Registry = []Runner{
+	{"table2.1", "Value prediction accuracy by instruction class", wrap(RunTable21)},
+	{"fig2.2", "Distribution of per-instruction prediction accuracy", wrap(RunFigure22)},
+	{"fig2.3", "Distribution of per-instruction stride efficiency", wrap(RunFigure23)},
+	{"fig4.1", "Input-stability of accuracy profiles, M(V)max", wrap(RunFigure41)},
+	{"fig4.2", "Input-stability of accuracy profiles, M(V)average", wrap(RunFigure42)},
+	{"fig4.3", "Input-stability of stride-efficiency profiles, M(S)average", wrap(RunFigure43)},
+	{"fig5.1+5.2", "Classification accuracy, FSM vs profile thresholds", wrap(RunClassAccuracy)},
+	{"table5.1", "Allocation-candidate fraction vs saturating counters", wrap(RunTable51)},
+	{"fig5.3+5.4", "Correct/incorrect predictions on a finite table", wrap(RunFiniteTable)},
+	{"table5.2", "ILP increase under the abstract machine", wrap(RunTable52)},
+}
+
+func wrap[T Result](f func(*Context) (T, error)) func(*Context) (Result, error) {
+	return func(c *Context) (Result, error) { return f(c) }
+}
+
+// IDs returns every experiment identifier.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, r := range Registry {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// ByID finds a runner among the paper artifacts and the extension
+// experiments, accepting either the exact ID or any ID it is embedded in
+// (so "fig5.1" resolves to the combined "fig5.1+5.2" driver).
+func ByID(id string) (Runner, error) {
+	all := append(append([]Runner{}, Registry...), ExtRegistry...)
+	for _, r := range all {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	var candidates []string
+	for _, r := range all {
+		if containsPart(r.ID, id) {
+			candidates = append(candidates, r.ID)
+		}
+	}
+	if len(candidates) == 1 {
+		return ByID(candidates[0])
+	}
+	known := IDs()
+	for _, r := range ExtRegistry {
+		known = append(known, r.ID)
+	}
+	sort.Strings(known)
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+}
+
+func containsPart(full, part string) bool {
+	if part == "" {
+		return false
+	}
+	for start := 0; start+len(part) <= len(full); start++ {
+		if full[start:start+len(part)] == part {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllRendersAreWellFormed runs every registered driver (paper artifacts
+// and extensions) against the shared context and checks the rendered text is
+// non-trivial, mentions every benchmark it covers, and matches its ID/title
+// contract. This is the report surface users actually read, so it gets its
+// own test rather than riding along with the shape assertions.
+func TestAllRendersAreWellFormed(t *testing.T) {
+	c := testCtx(t)
+	all := append(append([]Runner{}, Registry...), ExtRegistry...)
+	for _, r := range all {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res, err := r.Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID() != r.ID {
+				t.Errorf("result ID %q != registry ID %q", res.ID(), r.ID)
+			}
+			if res.Title() == "" {
+				t.Error("empty title")
+			}
+			text := res.Render()
+			if len(text) < 100 {
+				t.Fatalf("render suspiciously short:\n%s", text)
+			}
+			// Every per-benchmark driver lists the primary suite;
+			// table2.1 aggregates by suite and phase instead.
+			want := []string{"go", "m88ksim", "gcc", "vortex", "mgrid"}
+			if r.ID == "table2.1" {
+				want = []string{"Spec-int95", "Spec-fp95 init", "Spec-fp95 comp", "FP loads"}
+			}
+			for _, token := range want {
+				if !strings.Contains(text, token) {
+					t.Errorf("render missing %q:\n%s", token, text)
+				}
+			}
+			if strings.Contains(text, "%!") {
+				t.Errorf("render contains a formatting error:\n%s", text)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table21 reproduces Table 2.1: aggregate value-prediction accuracy of the
+// stride (S) and last-value (L) predictors, for integer ALU instructions and
+// integer loads across the integer suite, and for FP computation and FP
+// loads across the FP suite split into initialization and computation
+// phases. Accuracy is dynamically weighted (total correct over total
+// prediction attempts), measured with infinite per-instruction tables.
+type Table21 struct {
+	Rows []Table21Row
+}
+
+// Table21Row is one (suite, phase, category) row with both predictors.
+type Table21Row struct {
+	Group    string // "Spec-int95", "Spec-fp95 init", "Spec-fp95 comp"
+	Category string // "integer ALU", "loads", "FP computation", "FP loads"
+	Stride   float64
+	Last     float64
+	Attempts int64
+}
+
+type tally struct{ attempts, correctS, correctL int64 }
+
+func (t *tally) addPhase(s *profiler.InstStat, phase int) {
+	t.attempts += s.Attempts[phase]
+	t.correctS += s.CorrectStride[phase]
+	t.correctL += s.CorrectLast[phase]
+}
+
+// RunTable21 regenerates Table 2.1.
+func RunTable21(c *Context) (*Table21, error) {
+	var intALU, intLoad tally
+	var fpComp, fpLoad, fpIntALU, fpIntLoad [profiler.NumPhases]tally
+
+	for _, bench := range workload.AllNames() {
+		spec, _ := workload.ByName(bench)
+		col, err := c.EvalCollector(bench)
+		if err != nil {
+			return nil, err
+		}
+		col.ForEach(func(s *profiler.InstStat) {
+			for ph := 0; ph < profiler.NumPhases; ph++ {
+				switch {
+				case spec.FP && s.FP && s.Load:
+					fpLoad[ph].addPhase(s, ph)
+				case spec.FP && s.FP:
+					fpComp[ph].addPhase(s, ph)
+				case spec.FP && s.Load:
+					fpIntLoad[ph].addPhase(s, ph)
+				case spec.FP:
+					fpIntALU[ph].addPhase(s, ph)
+				case s.Load:
+					intLoad.addPhase(s, ph)
+				default:
+					intALU.addPhase(s, ph)
+				}
+			}
+		})
+	}
+
+	row := func(group, cat string, t tally) Table21Row {
+		return Table21Row{
+			Group:    group,
+			Category: cat,
+			Stride:   stats.Pct(t.correctS, t.attempts),
+			Last:     stats.Pct(t.correctL, t.attempts),
+			Attempts: t.attempts,
+		}
+	}
+	return &Table21{Rows: []Table21Row{
+		row("Spec-int95", "integer ALU", intALU),
+		row("Spec-int95", "loads", intLoad),
+		row("Spec-fp95 init", "integer ALU", fpIntALU[0]),
+		row("Spec-fp95 init", "loads", fpIntLoad[0]),
+		row("Spec-fp95 init", "FP computation", fpComp[0]),
+		row("Spec-fp95 init", "FP loads", fpLoad[0]),
+		row("Spec-fp95 comp", "integer ALU", fpIntALU[1]),
+		row("Spec-fp95 comp", "loads", fpIntLoad[1]),
+		row("Spec-fp95 comp", "FP computation", fpComp[1]),
+		row("Spec-fp95 comp", "FP loads", fpLoad[1]),
+	}}, nil
+}
+
+// ID implements Result.
+func (*Table21) ID() string { return "table2.1" }
+
+// Title implements Result.
+func (*Table21) Title() string {
+	return "Table 2.1 — Value prediction accuracy (S=stride, L=last-value)"
+}
+
+// Render implements Result.
+func (t *Table21) Render() string {
+	tb := stats.NewTable(t.Title(), "suite/phase", "category", "S", "L", "attempts")
+	for _, r := range t.Rows {
+		tb.AddRow(r.Group, r.Category, r.Stride, r.Last, r.Attempts)
+	}
+	var b strings.Builder
+	b.WriteString(tb.Render())
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine instructions encode into a single 64-bit word:
+//
+//	bits  0..7   opcode
+//	bits  8..13  rd
+//	bits 14..19  rs1
+//	bits 20..25  rs2
+//	bits 26..27  directive
+//	bits 28..31  reserved (zero)
+//	bits 32..63  immediate (two's-complement 32-bit)
+//
+// The 32-bit immediate covers arithmetic constants, memory displacements and
+// absolute text addresses; programs larger than 2^31 instructions are not
+// representable (nor simulatable in reasonable time).
+
+// EncodedSize is the size in bytes of one encoded instruction.
+const EncodedSize = 8
+
+// ErrImmRange is returned (wrapped) when an immediate operand does not fit
+// in the 32-bit encoding field.
+var ErrImmRange = fmt.Errorf("isa: immediate out of 32-bit range")
+
+// Encode packs the instruction into its 64-bit representation.
+func Encode(ins Instruction) (uint64, error) {
+	if !ins.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", ins.Op)
+	}
+	if !ins.Dir.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid directive %d", ins.Dir)
+	}
+	if ins.Rd >= NumIntRegs || ins.Rs1 >= NumIntRegs || ins.Rs2 >= NumIntRegs {
+		return 0, fmt.Errorf("isa: encode: register out of range in %s", ins.Op)
+	}
+	if ins.Imm < math.MinInt32 || ins.Imm > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: %d in %s", ErrImmRange, ins.Imm, ins.Op)
+	}
+	w := uint64(ins.Op) |
+		uint64(ins.Rd)<<8 |
+		uint64(ins.Rs1)<<14 |
+		uint64(ins.Rs2)<<20 |
+		uint64(ins.Dir)<<26 |
+		uint64(uint32(int32(ins.Imm)))<<32
+	return w, nil
+}
+
+// Decode unpacks a 64-bit word into an Instruction. It rejects words whose
+// opcode, directive or reserved bits are invalid, so corrupt program images
+// fail loudly instead of executing garbage.
+func Decode(w uint64) (Instruction, error) {
+	ins := Instruction{
+		Op:  Opcode(w & 0xff),
+		Rd:  Reg(w >> 8 & 0x3f),
+		Rs1: Reg(w >> 14 & 0x3f),
+		Rs2: Reg(w >> 20 & 0x3f),
+		Dir: Directive(w >> 26 & 0x3),
+		Imm: int64(int32(uint32(w >> 32))),
+	}
+	if !ins.Op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: decode: invalid opcode %d in %#016x", uint8(ins.Op), w)
+	}
+	if !ins.Dir.Valid() {
+		return Instruction{}, fmt.Errorf("isa: decode: invalid directive %d in %#016x", uint8(ins.Dir), w)
+	}
+	if reserved := w >> 28 & 0xf; reserved != 0 {
+		return Instruction{}, fmt.Errorf("isa: decode: reserved bits %#x set in %#016x", reserved, w)
+	}
+	if ins.Rd >= NumIntRegs || ins.Rs1 >= NumIntRegs || ins.Rs2 >= NumIntRegs {
+		return Instruction{}, fmt.Errorf("isa: decode: register out of range in %#016x", w)
+	}
+	return ins, nil
+}
+
+// Disassemble renders one instruction in the assembly syntax accepted by the
+// assembler, including any directive suffix.
+func Disassemble(ins Instruction) string {
+	info := ins.Op.Info()
+	name := info.Name
+	if ins.Dir != DirNone {
+		name += "." + ins.Dir.String()
+	}
+	rd, rs1, rs2 := regNamesFor(ins)
+	switch info.Format {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", name, rd, rs1, rs2)
+	case FormatI:
+		return fmt.Sprintf("%s %s, %s, %d", name, rd, rs1, ins.Imm)
+	case FormatLI:
+		return fmt.Sprintf("%s %s, %d", name, rd, ins.Imm)
+	case FormatLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", name, rd, ins.Imm, rs1)
+	case FormatStore:
+		return fmt.Sprintf("%s %s, %d(%s)", name, rs2, ins.Imm, rs1)
+	case FormatBranch:
+		return fmt.Sprintf("%s %s, %s, %d", name, rs1, rs2, ins.Imm)
+	case FormatJump:
+		return fmt.Sprintf("%s %d", name, ins.Imm)
+	case FormatJAL:
+		return fmt.Sprintf("%s %s, %d", name, rd, ins.Imm)
+	case FormatJALR:
+		return fmt.Sprintf("%s %s, %s", name, rd, rs1)
+	case FormatRR:
+		return fmt.Sprintf("%s %s, %s", name, rd, rs1)
+	case FormatSys:
+		if ins.Op == OpPHASE {
+			return fmt.Sprintf("%s %d", name, ins.Imm)
+		}
+		return name
+	default:
+		return fmt.Sprintf("%s ???", name)
+	}
+}
+
+// regNamesFor picks integer or FP register spellings per operand according
+// to the opcode's register-file usage.
+func regNamesFor(ins Instruction) (rd, rs1, rs2 string) {
+	info := ins.Op.Info()
+	rd = IntRegName(ins.Rd)
+	rs1 = IntRegName(ins.Rs1)
+	rs2 = IntRegName(ins.Rs2)
+	if info.WritesFP {
+		rd = FPRegName(ins.Rd)
+	}
+	switch ins.Op {
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFMOV, OpFNEG, OpFABS, OpFSQRT, OpFTOI, OpFLT, OpFEQ:
+		rs1 = FPRegName(ins.Rs1)
+		rs2 = FPRegName(ins.Rs2)
+	case OpFST:
+		rs2 = FPRegName(ins.Rs2)
+	}
+	return rd, rs1, rs2
+}
+
+// FPSourceOperands reports whether the opcode reads its rs1 and/or rs2
+// operand from the floating-point register file. The assembler and the
+// dataflow scheduler both need this to track dependencies through the right
+// register file.
+func FPSourceOperands(op Opcode) (rs1FP, rs2FP bool) {
+	switch op {
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFMOV, OpFNEG, OpFABS, OpFSQRT, OpFTOI, OpFLT, OpFEQ:
+		return true, true
+	case OpFST:
+		return false, true
+	default:
+		return false, false
+	}
+}

@@ -1,0 +1,112 @@
+// Package isa defines the instruction set of the simulated machine used
+// throughout this repository.
+//
+// The paper evaluated value prediction on Sun-SPARC traces collected with the
+// SHADE environment. This repository substitutes a small 64-bit RISC
+// instruction set: the value-prediction machinery only ever observes a
+// dynamic stream of (instruction address, destination register, destination
+// value) tuples, so any ISA that produces such a stream exercises the same
+// code paths. The ISA carries one paper-specific feature: a two-bit
+// Directive field in every instruction, the opcode hint the compiler uses to
+// communicate profile-derived value-predictability classes to the hardware
+// (Section 3.2 of the paper, modeled on the PowerPC 601 branch hints).
+package isa
+
+import "fmt"
+
+// Word is the machine word. All integer registers and memory cells hold one
+// Word; floating-point registers hold a float64 whose bit pattern is a Word.
+type Word = int64
+
+// NumIntRegs and NumFPRegs are the sizes of the two register files.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Reg names a register in either file. Integer registers are R0..R31 with R0
+// hard-wired to zero; floating-point registers are F0..F31.
+type Reg uint8
+
+// Well-known integer registers.
+const (
+	RegZero Reg = 0  // always reads as zero; writes are discarded
+	RegSP   Reg = 30 // conventional stack pointer
+	RegRA   Reg = 31 // conventional return address (link) register
+)
+
+// Directive is the opcode hint inserted by the profile-guided compiler pass.
+// It tells the value-prediction hardware how (and whether) to predict the
+// instruction's destination value.
+type Directive uint8
+
+const (
+	// DirNone marks an instruction as not recommended for value
+	// prediction. This is the default for every instruction.
+	DirNone Directive = iota
+	// DirLastValue marks an instruction as likely to repeat its most
+	// recently produced value.
+	DirLastValue
+	// DirStride marks an instruction as likely to produce values that
+	// follow a constant stride.
+	DirStride
+
+	numDirectives
+)
+
+// String returns the assembly spelling of the directive suffix.
+func (d Directive) String() string {
+	switch d {
+	case DirNone:
+		return "none"
+	case DirLastValue:
+		return "lastvalue"
+	case DirStride:
+		return "stride"
+	default:
+		return fmt.Sprintf("Directive(%d)", uint8(d))
+	}
+}
+
+// Valid reports whether d is one of the defined directive values.
+func (d Directive) Valid() bool { return d < numDirectives }
+
+// Instruction is one decoded machine instruction.
+//
+// The interpretation of the operand fields depends on the opcode format (see
+// Format): for example loads use Rd, Rs1 and Imm (Rd ← mem[Rs1+Imm]), stores
+// use Rs1, Rs2 and Imm (mem[Rs1+Imm] ← Rs2), and branches use Rs1, Rs2 and
+// Imm as a text-segment target address.
+type Instruction struct {
+	Op  Opcode
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	// Imm is the immediate operand: an arithmetic constant, a memory
+	// displacement, or an absolute text address for control transfers.
+	Imm int64
+	// Dir is the value-predictability hint attached by the annotation
+	// pass; DirNone unless the instruction was tagged.
+	Dir Directive
+}
+
+// WritesReg reports whether the instruction produces a register result, and
+// if so which register file it targets. Instructions whose destination is
+// the integer register R0 produce no observable value and report false; the
+// paper's mechanisms only ever consider instructions that write a computed
+// value to a destination register.
+func (ins Instruction) WritesReg() (isFP bool, ok bool) {
+	info := ins.Op.Info()
+	if info.WritesFP {
+		return true, true
+	}
+	if info.WritesInt {
+		return false, ins.Rd != RegZero
+	}
+	return false, false
+}
+
+// String renders the instruction in assembly syntax.
+func (ins Instruction) String() string {
+	return Disassemble(ins)
+}

@@ -1,0 +1,259 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeInfoComplete(t *testing.T) {
+	for op := Opcode(1); int(op) < NumOpcodes(); op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if !op.Valid() {
+			t.Errorf("opcode %d (%s) should be valid", op, info.Name)
+		}
+		got, ok := OpcodeByName(info.Name)
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v", info.Name, got, ok, op)
+		}
+	}
+}
+
+func TestOpcodeByNameUnknown(t *testing.T) {
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName accepted an unknown mnemonic")
+	}
+	if Opcode(250).Valid() {
+		t.Error("out-of-range opcode reported valid")
+	}
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid reported valid")
+	}
+}
+
+func TestOpcodeClassesAreConsistent(t *testing.T) {
+	for op := Opcode(1); int(op) < NumOpcodes(); op++ {
+		info := op.Info()
+		if info.WritesInt && info.WritesFP {
+			t.Errorf("%s writes both register files", op)
+		}
+		if info.IsLoad && info.IsStore {
+			t.Errorf("%s is both load and store", op)
+		}
+		if info.IsBranch && info.IsJump {
+			t.Errorf("%s is both branch and jump", op)
+		}
+		if info.IsLoad && !info.WritesInt && !info.WritesFP {
+			t.Errorf("load %s writes no register", op)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpADDI, Rd: 31, Rs1: 0, Imm: -1},
+		{Op: OpLDI, Rd: 5, Imm: math.MaxInt32},
+		{Op: OpLDI, Rd: 5, Imm: math.MinInt32},
+		{Op: OpLD, Rd: 7, Rs1: 8, Imm: 1024, Dir: DirLastValue},
+		{Op: OpST, Rs1: 9, Rs2: 10, Imm: -64},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 77},
+		{Op: OpJALR, Rd: 0, Rs1: 31},
+		{Op: OpFADD, Rd: 3, Rs1: 4, Rs2: 5, Dir: DirStride},
+		{Op: OpHALT},
+		{Op: OpPHASE, Imm: 1},
+	}
+	for _, ins := range cases {
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("encode %v: %v", ins, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v: %v", ins, err)
+		}
+		if got != ins {
+			t.Errorf("round trip: got %+v want %+v", got, ins)
+		}
+	}
+}
+
+// TestEncodeDecodeQuick is the property-based version: any well-formed
+// instruction survives encode→decode unchanged.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(opRaw, rd, rs1, rs2, dir uint8, imm int32) bool {
+		ins := Instruction{
+			Op:  Opcode(opRaw%uint8(NumOpcodes()-1) + 1),
+			Rd:  Reg(rd % NumIntRegs),
+			Rs1: Reg(rs1 % NumIntRegs),
+			Rs2: Reg(rs2 % NumIntRegs),
+			Dir: Directive(dir % 3),
+			Imm: int64(imm),
+		}
+		w, err := Encode(ins)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadInstructions(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpInvalid},
+		{Op: Opcode(200), Rd: 1},
+		{Op: OpADD, Rd: 40},
+		{Op: OpADD, Rs1: 64},
+		{Op: OpADD, Dir: Directive(3)},
+		{Op: OpLDI, Rd: 1, Imm: math.MaxInt32 + 1},
+		{Op: OpLDI, Rd: 1, Imm: math.MinInt32 - 1},
+	}
+	for _, ins := range cases {
+		if _, err := Encode(ins); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", ins)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptWords(t *testing.T) {
+	good, err := Encode(Instruction{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]uint64{
+		"invalid opcode":    good&^uint64(0xff) | 0xfe,
+		"invalid directive": good | 3<<26,
+		"reserved bits":     good | 1<<28,
+	}
+	for name, w := range cases {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("%s: Decode(%#x) succeeded, want error", name, w)
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	cases := []struct {
+		ins    Instruction
+		wantFP bool
+		wantOK bool
+	}{
+		{Instruction{Op: OpADD, Rd: 1}, false, true},
+		{Instruction{Op: OpADD, Rd: RegZero}, false, false}, // R0 writes discarded
+		{Instruction{Op: OpST}, false, false},
+		{Instruction{Op: OpBEQ}, false, false},
+		{Instruction{Op: OpFADD, Rd: 0}, true, true}, // F0 is a real register
+		{Instruction{Op: OpFTOI, Rd: 2}, false, true},
+		{Instruction{Op: OpITOF, Rd: 2}, true, true},
+		{Instruction{Op: OpJAL, Rd: RegRA}, false, true},
+		{Instruction{Op: OpHALT}, false, false},
+	}
+	for _, c := range cases {
+		fp, ok := c.ins.WritesReg()
+		if fp != c.wantFP || ok != c.wantOK {
+			t.Errorf("WritesReg(%s rd=%d) = %v,%v; want %v,%v",
+				c.ins.Op, c.ins.Rd, fp, ok, c.wantFP, c.wantOK)
+		}
+	}
+}
+
+func TestDisassembleForms(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instruction{Op: OpADDI, Rd: 1, Rs1: 1, Imm: -4, Dir: DirStride}, "addi.stride r1, r1, -4"},
+		{Instruction{Op: OpLD, Rd: 2, Rs1: 3, Imm: 8}, "ld r2, 8(r3)"},
+		{Instruction{Op: OpST, Rs1: 3, Rs2: 4, Imm: 0}, "st r4, 0(r3)"},
+		{Instruction{Op: OpBEQ, Rs1: 1, Rs2: 0, Imm: 12}, "beq r1, zero, 12"},
+		{Instruction{Op: OpJALR, Rd: 0, Rs1: 31}, "jalr zero, ra"},
+		{Instruction{Op: OpFADD, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+		{Instruction{Op: OpFST, Rs1: 3, Rs2: 4, Imm: 2}, "fst f4, 2(r3)"},
+		{Instruction{Op: OpITOF, Rd: 1, Rs1: 9}, "itof f1, r9"},
+		{Instruction{Op: OpFTOI, Rd: 1, Rs1: 9}, "ftoi r1, f9"},
+		{Instruction{Op: OpPHASE, Imm: 1}, "phase 1"},
+		{Instruction{Op: OpHALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.ins); got != c.want {
+			t.Errorf("Disassemble = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	cases := map[Reg]string{RegZero: "zero", RegSP: "sp", RegRA: "ra", 7: "r7"}
+	for r, want := range cases {
+		if got := IntRegName(r); got != want {
+			t.Errorf("IntRegName(%d) = %q, want %q", r, got, want)
+		}
+	}
+	for _, name := range []string{"zero", "sp", "ra", "r0", "r31"} {
+		if _, ok := ParseIntReg(name); !ok {
+			t.Errorf("ParseIntReg(%q) failed", name)
+		}
+	}
+	for _, name := range []string{"r32", "r-1", "x1", "f1", ""} {
+		if _, ok := ParseIntReg(name); ok {
+			t.Errorf("ParseIntReg(%q) accepted", name)
+		}
+	}
+	for _, name := range []string{"f0", "f31"} {
+		if _, ok := ParseFPReg(name); !ok {
+			t.Errorf("ParseFPReg(%q) failed", name)
+		}
+	}
+	for _, name := range []string{"f32", "r1", "f", "fa"} {
+		if _, ok := ParseFPReg(name); ok {
+			t.Errorf("ParseFPReg(%q) accepted", name)
+		}
+	}
+}
+
+func TestParseRegRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumIntRegs; r++ {
+		got, ok := ParseIntReg(IntRegName(r))
+		if !ok || got != r {
+			t.Errorf("int reg %d does not round-trip (got %d, %v)", r, got, ok)
+		}
+	}
+	for r := Reg(0); r < NumFPRegs; r++ {
+		got, ok := ParseFPReg(FPRegName(r))
+		if !ok || got != r {
+			t.Errorf("fp reg %d does not round-trip", r)
+		}
+	}
+}
+
+func TestDirectiveStrings(t *testing.T) {
+	if DirNone.String() != "none" || DirLastValue.String() != "lastvalue" || DirStride.String() != "stride" {
+		t.Error("directive spellings changed; assembler suffixes depend on them")
+	}
+	if !strings.Contains(Directive(9).String(), "9") {
+		t.Error("unknown directive should print its value")
+	}
+	if Directive(3).Valid() {
+		t.Error("directive 3 should be invalid")
+	}
+}
+
+func TestFPSourceOperands(t *testing.T) {
+	if rs1, rs2 := FPSourceOperands(OpFADD); !rs1 || !rs2 {
+		t.Error("fadd should read two FP sources")
+	}
+	if rs1, rs2 := FPSourceOperands(OpFST); rs1 || !rs2 {
+		t.Error("fst should read rs2 from the FP file only")
+	}
+	if rs1, rs2 := FPSourceOperands(OpADD); rs1 || rs2 {
+		t.Error("add reads no FP sources")
+	}
+}

@@ -1,0 +1,217 @@
+package isa
+
+import "fmt"
+
+// Opcode identifies one machine operation.
+type Opcode uint8
+
+// Format describes how an instruction's operand fields are interpreted, both
+// by the assembler (operand syntax) and by the simulator (semantics).
+type Format uint8
+
+const (
+	// FormatR: op rd, rs1, rs2 — three-register ALU operation.
+	FormatR Format = iota
+	// FormatI: op rd, rs1, imm — register-immediate ALU operation.
+	FormatI
+	// FormatLI: op rd, imm — load immediate into register.
+	FormatLI
+	// FormatLoad: op rd, imm(rs1) — register load from memory.
+	FormatLoad
+	// FormatStore: op rs2, imm(rs1) — register store to memory.
+	FormatStore
+	// FormatBranch: op rs1, rs2, target — conditional branch.
+	FormatBranch
+	// FormatJump: op target — unconditional jump.
+	FormatJump
+	// FormatJAL: op rd, target — jump and link.
+	FormatJAL
+	// FormatJALR: op rd, rs1 — indirect jump and link.
+	FormatJALR
+	// FormatRR: op rd, rs1 — two-register (unary) operation.
+	FormatRR
+	// FormatSys: op imm — system operation (HALT, NOP, PHASE).
+	FormatSys
+)
+
+// OpInfo is the static description of an opcode.
+type OpInfo struct {
+	Name      string
+	Format    Format
+	WritesInt bool // produces an integer register result in Rd
+	WritesFP  bool // produces a floating-point register result in Rd
+	IsLoad    bool // reads memory
+	IsStore   bool // writes memory
+	IsBranch  bool // conditional control transfer
+	IsJump    bool // unconditional control transfer
+	IsFP      bool // floating-point computation (for FP/ALU breakdowns)
+}
+
+// The opcode space. Integer ALU, loads/stores, control transfers,
+// floating-point arithmetic, and system operations.
+const (
+	OpInvalid Opcode = iota
+
+	// Integer register-register ALU.
+	OpADD
+	OpSUB
+	OpMUL
+	OpDIV
+	OpREM
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLT // set if less than (signed): rd = rs1 < rs2 ? 1 : 0
+
+	// Integer register-immediate ALU.
+	OpADDI
+	OpMULI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+
+	// Immediate load.
+	OpLDI
+
+	// Memory.
+	OpLD  // rd = mem[rs1+imm]
+	OpST  // mem[rs1+imm] = rs2
+	OpFLD // fd = bits→float64(mem[rs1+imm])
+	OpFST // mem[rs1+imm] = float64bits(fs2)
+
+	// Control transfers.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpJMP
+	OpJAL
+	OpJALR
+
+	// Floating point.
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFMOV  // fd = fs1
+	OpFNEG  // fd = -fs1
+	OpFABS  // fd = |fs1|
+	OpFSQRT // fd = sqrt(fs1)
+	OpITOF  // fd = float64(rs1)
+	OpFTOI  // rd = int64(fs1) (truncating)
+	OpFLT   // rd = fs1 < fs2 ? 1 : 0
+	OpFEQ   // rd = fs1 == fs2 ? 1 : 0
+
+	// System.
+	OpNOP
+	OpHALT
+	OpPHASE // marks an execution-phase boundary (init vs computation)
+
+	numOpcodes
+)
+
+// opInfos is indexed by Opcode.
+var opInfos = [numOpcodes]OpInfo{
+	OpInvalid: {Name: "invalid", Format: FormatSys},
+
+	OpADD: {Name: "add", Format: FormatR, WritesInt: true},
+	OpSUB: {Name: "sub", Format: FormatR, WritesInt: true},
+	OpMUL: {Name: "mul", Format: FormatR, WritesInt: true},
+	OpDIV: {Name: "div", Format: FormatR, WritesInt: true},
+	OpREM: {Name: "rem", Format: FormatR, WritesInt: true},
+	OpAND: {Name: "and", Format: FormatR, WritesInt: true},
+	OpOR:  {Name: "or", Format: FormatR, WritesInt: true},
+	OpXOR: {Name: "xor", Format: FormatR, WritesInt: true},
+	OpSLL: {Name: "sll", Format: FormatR, WritesInt: true},
+	OpSRL: {Name: "srl", Format: FormatR, WritesInt: true},
+	OpSRA: {Name: "sra", Format: FormatR, WritesInt: true},
+	OpSLT: {Name: "slt", Format: FormatR, WritesInt: true},
+
+	OpADDI: {Name: "addi", Format: FormatI, WritesInt: true},
+	OpMULI: {Name: "muli", Format: FormatI, WritesInt: true},
+	OpANDI: {Name: "andi", Format: FormatI, WritesInt: true},
+	OpORI:  {Name: "ori", Format: FormatI, WritesInt: true},
+	OpXORI: {Name: "xori", Format: FormatI, WritesInt: true},
+	OpSLLI: {Name: "slli", Format: FormatI, WritesInt: true},
+	OpSRLI: {Name: "srli", Format: FormatI, WritesInt: true},
+	OpSRAI: {Name: "srai", Format: FormatI, WritesInt: true},
+	OpSLTI: {Name: "slti", Format: FormatI, WritesInt: true},
+
+	OpLDI: {Name: "ldi", Format: FormatLI, WritesInt: true},
+
+	OpLD:  {Name: "ld", Format: FormatLoad, WritesInt: true, IsLoad: true},
+	OpST:  {Name: "st", Format: FormatStore, IsStore: true},
+	OpFLD: {Name: "fld", Format: FormatLoad, WritesFP: true, IsLoad: true, IsFP: true},
+	OpFST: {Name: "fst", Format: FormatStore, IsStore: true, IsFP: true},
+
+	OpBEQ:  {Name: "beq", Format: FormatBranch, IsBranch: true},
+	OpBNE:  {Name: "bne", Format: FormatBranch, IsBranch: true},
+	OpBLT:  {Name: "blt", Format: FormatBranch, IsBranch: true},
+	OpBGE:  {Name: "bge", Format: FormatBranch, IsBranch: true},
+	OpJMP:  {Name: "jmp", Format: FormatJump, IsJump: true},
+	OpJAL:  {Name: "jal", Format: FormatJAL, WritesInt: true, IsJump: true},
+	OpJALR: {Name: "jalr", Format: FormatJALR, WritesInt: true, IsJump: true},
+
+	OpFADD:  {Name: "fadd", Format: FormatR, WritesFP: true, IsFP: true},
+	OpFSUB:  {Name: "fsub", Format: FormatR, WritesFP: true, IsFP: true},
+	OpFMUL:  {Name: "fmul", Format: FormatR, WritesFP: true, IsFP: true},
+	OpFDIV:  {Name: "fdiv", Format: FormatR, WritesFP: true, IsFP: true},
+	OpFMOV:  {Name: "fmov", Format: FormatRR, WritesFP: true, IsFP: true},
+	OpFNEG:  {Name: "fneg", Format: FormatRR, WritesFP: true, IsFP: true},
+	OpFABS:  {Name: "fabs", Format: FormatRR, WritesFP: true, IsFP: true},
+	OpFSQRT: {Name: "fsqrt", Format: FormatRR, WritesFP: true, IsFP: true},
+	OpITOF:  {Name: "itof", Format: FormatRR, WritesFP: true, IsFP: true},
+	OpFTOI:  {Name: "ftoi", Format: FormatRR, WritesInt: true, IsFP: true},
+	OpFLT:   {Name: "flt", Format: FormatR, WritesInt: true, IsFP: true},
+	OpFEQ:   {Name: "feq", Format: FormatR, WritesInt: true, IsFP: true},
+
+	OpNOP:   {Name: "nop", Format: FormatSys},
+	OpHALT:  {Name: "halt", Format: FormatSys},
+	OpPHASE: {Name: "phase", Format: FormatSys},
+}
+
+// opByName maps assembly mnemonics back to opcodes.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(1); op < numOpcodes; op++ {
+		m[opInfos[op].Name] = op
+	}
+	return m
+}()
+
+// Info returns the static description of the opcode. Unknown opcodes report
+// the OpInvalid description.
+func (op Opcode) Info() OpInfo {
+	if op >= numOpcodes {
+		return opInfos[OpInvalid]
+	}
+	return opInfos[op]
+}
+
+// Valid reports whether op is a defined, executable opcode.
+func (op Opcode) Valid() bool { return op > OpInvalid && op < numOpcodes }
+
+// String returns the assembly mnemonic.
+func (op Opcode) String() string {
+	if op >= numOpcodes {
+		return fmt.Sprintf("Opcode(%d)", uint8(op))
+	}
+	return opInfos[op].Name
+}
+
+// OpcodeByName looks up an opcode by its assembly mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// NumOpcodes returns the number of defined opcodes (including OpInvalid),
+// useful for exhaustive tests.
+func NumOpcodes() int { return int(numOpcodes) }

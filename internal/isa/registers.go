@@ -1,0 +1,56 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IntRegName returns the assembly name of integer register r.
+func IntRegName(r Reg) string {
+	switch r {
+	case RegZero:
+		return "zero"
+	case RegSP:
+		return "sp"
+	case RegRA:
+		return "ra"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// FPRegName returns the assembly name of floating-point register r.
+func FPRegName(r Reg) string { return fmt.Sprintf("f%d", r) }
+
+// ParseIntReg parses an integer register name ("r7", "zero", "sp", "ra").
+func ParseIntReg(s string) (Reg, bool) {
+	switch s {
+	case "zero":
+		return RegZero, true
+	case "sp":
+		return RegSP, true
+	case "ra":
+		return RegRA, true
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumIntRegs {
+		return 0, false
+	}
+	return Reg(n), true
+}
+
+// ParseFPReg parses a floating-point register name ("f0".."f31").
+func ParseFPReg(s string) (Reg, bool) {
+	if !strings.HasPrefix(s, "f") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumFPRegs {
+		return 0, false
+	}
+	return Reg(n), true
+}

@@ -1,0 +1,175 @@
+// Package metrics implements the profile-correlation mathematics of the
+// paper's Section 4: per-instruction profile vectors collected under n
+// different program inputs, the maximum-distance metric M(V)max (equation
+// 4.1) and the average-distance metric M(V)average (equation 4.2), and the
+// decile histograms (figures 4.1–4.3) that reveal whether the vectors are
+// correlated — the property that makes profile-guided value prediction
+// possible at all.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/profiler"
+)
+
+// VectorSet holds n aligned profile vectors: Runs[j][i] is the measured
+// quantity (prediction accuracy or stride efficiency, in percent) of the
+// instruction at Addrs[i] during run j. Only instructions that appear in
+// every run are kept, exactly as Section 4 prescribes ("we only consider
+// the instructions that appear in all the different runs").
+type VectorSet struct {
+	Addrs []int64
+	Runs  [][]float64
+	// Omitted counts instructions dropped because they did not appear in
+	// every run; the paper notes this number is relatively small.
+	Omitted int
+}
+
+// Quantity selects which per-instruction quantity a vector holds.
+type Quantity uint8
+
+const (
+	// Accuracy aligns prediction-accuracy vectors (the V vectors of
+	// Section 4, figures 4.1 and 4.2).
+	Accuracy Quantity = iota
+	// StrideEfficiency aligns stride-efficiency vectors (the S vectors,
+	// figure 4.3).
+	StrideEfficiency
+)
+
+// Align builds a VectorSet from n profile images of the same program run
+// under different inputs.
+func Align(images []*profiler.Image, q Quantity) (*VectorSet, error) {
+	if len(images) < 2 {
+		return nil, fmt.Errorf("metrics: need at least 2 runs to correlate, got %d", len(images))
+	}
+	// Count appearances; instructions with zero prediction attempts in a
+	// run carry no measurement for that run and are treated as absent.
+	appear := make(map[int64]int)
+	for _, im := range images {
+		for _, e := range im.Entries {
+			if e.Attempts > 0 {
+				appear[e.Addr]++
+			}
+		}
+	}
+	var common []int64
+	for _, e := range images[0].Entries {
+		if appear[e.Addr] == len(images) {
+			common = append(common, e.Addr)
+		}
+	}
+	// Omitted = instructions present in at least one run but not all.
+	omitted := len(appear) - len(common)
+
+	vs := &VectorSet{Addrs: common, Omitted: omitted}
+	for _, im := range images {
+		vec := make([]float64, len(common))
+		for i, addr := range common {
+			e, ok := im.Lookup(addr)
+			if !ok {
+				return nil, fmt.Errorf("metrics: internal error: addr %d missing after alignment", addr)
+			}
+			switch q {
+			case Accuracy:
+				vec[i] = e.Accuracy()
+			case StrideEfficiency:
+				vec[i] = e.StrideEfficiency()
+			default:
+				return nil, fmt.Errorf("metrics: unknown quantity %d", q)
+			}
+		}
+		vs.Runs = append(vs.Runs, vec)
+	}
+	return vs, nil
+}
+
+// MMax computes the maximum-distance metric of equation 4.1: coordinate i is
+// the maximum absolute difference between the i-th coordinates of every pair
+// of run vectors.
+func (vs *VectorSet) MMax() []float64 {
+	out := make([]float64, len(vs.Addrs))
+	for i := range out {
+		m := 0.0
+		for a := 0; a < len(vs.Runs); a++ {
+			for b := a + 1; b < len(vs.Runs); b++ {
+				if d := math.Abs(vs.Runs[a][i] - vs.Runs[b][i]); d > m {
+					m = d
+				}
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// MAverage computes the average-distance metric of equation 4.2: coordinate
+// i is the arithmetic mean of the absolute differences between the i-th
+// coordinates of every pair of run vectors.
+func (vs *VectorSet) MAverage() []float64 {
+	out := make([]float64, len(vs.Addrs))
+	pairs := len(vs.Runs) * (len(vs.Runs) - 1) / 2
+	if pairs == 0 {
+		return out
+	}
+	for i := range out {
+		s := 0.0
+		for a := 0; a < len(vs.Runs); a++ {
+			for b := a + 1; b < len(vs.Runs); b++ {
+				s += math.Abs(vs.Runs[a][i] - vs.Runs[b][i])
+			}
+		}
+		out[i] = s / float64(pairs)
+	}
+	return out
+}
+
+// NumBins is the number of decile intervals used by the paper's histograms:
+// [0,10], (10,20], …, (90,100].
+const NumBins = 10
+
+// Histogram bins values (percentages in [0,100]) into the paper's decile
+// intervals and returns per-bin counts.
+func Histogram(values []float64) [NumBins]int {
+	var bins [NumBins]int
+	for _, v := range values {
+		bins[binIndex(v)]++
+	}
+	return bins
+}
+
+// HistogramPct returns the per-bin share of values in percent.
+func HistogramPct(values []float64) [NumBins]float64 {
+	bins := Histogram(values)
+	var out [NumBins]float64
+	if len(values) == 0 {
+		return out
+	}
+	for i, c := range bins {
+		out[i] = 100 * float64(c) / float64(len(values))
+	}
+	return out
+}
+
+// binIndex maps a percentage to its decile interval: [0,10] → 0,
+// (10,20] → 1, …, (90,100] → 9. Out-of-range values clamp.
+func binIndex(v float64) int {
+	if v <= 10 {
+		return 0
+	}
+	idx := int(math.Ceil(v/10)) - 1
+	if idx >= NumBins {
+		idx = NumBins - 1
+	}
+	return idx
+}
+
+// BinLabel names a decile interval for report output.
+func BinLabel(i int) string {
+	if i == 0 {
+		return "[0,10]"
+	}
+	return fmt.Sprintf("(%d,%d]", i*10, (i+1)*10)
+}

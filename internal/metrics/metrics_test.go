@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profiler"
+)
+
+// img builds a profile image from (addr, attempts, correctStride, nzStride)
+// tuples.
+func img(prog string, rows ...[4]int64) *profiler.Image {
+	im := &profiler.Image{Program: prog}
+	for _, r := range rows {
+		im.Entries = append(im.Entries, profiler.Entry{
+			Addr:                 r[0],
+			Executions:           r[1] + 1,
+			Attempts:             r[1],
+			CorrectStride:        r[2],
+			NonZeroStrideCorrect: r[3],
+		})
+	}
+	return im
+}
+
+func TestAlignIntersectsInstructions(t *testing.T) {
+	a := img("p", [4]int64{1, 100, 50, 0}, [4]int64{2, 100, 90, 0}, [4]int64{5, 100, 10, 0})
+	b := img("p", [4]int64{1, 100, 60, 0}, [4]int64{2, 100, 80, 0}, [4]int64{9, 100, 10, 0})
+	vs, err := Align([]*profiler.Image{a, b}, Accuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs.Addrs) != 2 || vs.Addrs[0] != 1 || vs.Addrs[1] != 2 {
+		t.Fatalf("common addrs = %v", vs.Addrs)
+	}
+	if vs.Omitted != 2 {
+		t.Errorf("omitted = %d, want 2", vs.Omitted)
+	}
+	if vs.Runs[0][0] != 50 || vs.Runs[1][0] != 60 {
+		t.Errorf("run values = %v", vs.Runs)
+	}
+}
+
+func TestAlignDropsZeroAttemptInstructions(t *testing.T) {
+	a := img("p", [4]int64{1, 0, 0, 0}, [4]int64{2, 10, 5, 0})
+	b := img("p", [4]int64{1, 10, 5, 0}, [4]int64{2, 10, 5, 0})
+	vs, err := Align([]*profiler.Image{a, b}, Accuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs.Addrs) != 1 || vs.Addrs[0] != 2 {
+		t.Errorf("addrs = %v; instruction with no attempts must be dropped", vs.Addrs)
+	}
+}
+
+func TestAlignRequiresTwoRuns(t *testing.T) {
+	if _, err := Align([]*profiler.Image{img("p")}, Accuracy); err == nil {
+		t.Error("single-run alignment accepted")
+	}
+}
+
+func TestAlignStrideEfficiency(t *testing.T) {
+	a := img("p", [4]int64{1, 100, 50, 25})
+	b := img("p", [4]int64{1, 100, 40, 10})
+	vs, err := Align([]*profiler.Image{a, b}, StrideEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Runs[0][0] != 50 || vs.Runs[1][0] != 25 {
+		t.Errorf("stride efficiency vectors = %v", vs.Runs)
+	}
+}
+
+func TestMMaxAndMAverageHandComputed(t *testing.T) {
+	vs := &VectorSet{
+		Addrs: []int64{0, 1},
+		Runs: [][]float64{
+			{10, 100},
+			{30, 90},
+			{20, 95},
+		},
+	}
+	mmax := vs.MMax()
+	// Coordinate 0: pairs |10-30|=20, |10-20|=10, |30-20|=10 → max 20.
+	if mmax[0] != 20 {
+		t.Errorf("MMax[0] = %g, want 20", mmax[0])
+	}
+	if mmax[1] != 10 {
+		t.Errorf("MMax[1] = %g, want 10", mmax[1])
+	}
+	mavg := vs.MAverage()
+	if math.Abs(mavg[0]-40.0/3) > 1e-12 {
+		t.Errorf("MAverage[0] = %g, want 13.33", mavg[0])
+	}
+	if math.Abs(mavg[1]-(10+5+5)/3.0) > 1e-12 {
+		t.Errorf("MAverage[1] = %g", mavg[1])
+	}
+}
+
+// Metric properties: identical runs give zero distance; MAverage ≤ MMax;
+// both are permutation-invariant in the run order.
+func TestMetricProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		// Build 3 runs of equal length from the raw bytes.
+		n := len(raw) / 3
+		runs := [][]float64{{}, {}, {}}
+		for i := 0; i < 3*n; i++ {
+			runs[i/n] = append(runs[i/n], float64(raw[i])*100/255)
+		}
+		vs := &VectorSet{Addrs: make([]int64, n), Runs: runs}
+		mmax := vs.MMax()
+		mavg := vs.MAverage()
+		for i := 0; i < n; i++ {
+			if mavg[i] > mmax[i]+1e-9 {
+				return false
+			}
+		}
+		// Permuting runs changes nothing.
+		vsP := &VectorSet{Addrs: vs.Addrs, Runs: [][]float64{runs[2], runs[0], runs[1]}}
+		mmaxP := vsP.MMax()
+		for i := range mmax {
+			if math.Abs(mmax[i]-mmaxP[i]) > 1e-9 {
+				return false
+			}
+		}
+		// Identical runs → zero distances.
+		vsI := &VectorSet{Addrs: vs.Addrs, Runs: [][]float64{runs[0], runs[0], runs[0]}}
+		for _, v := range vsI.MMax() {
+			if v != 0 {
+				return false
+			}
+		}
+		for _, v := range vsI.MAverage() {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	// Interval semantics: [0,10] → bin 0, (10,20] → bin 1, …
+	cases := map[float64]int{
+		0: 0, 5: 0, 10: 0,
+		10.01: 1, 20: 1,
+		20.5: 2,
+		89.9: 8, 90: 8,
+		90.1: 9, 100: 9,
+		150: 9, // clamp
+		-5:  0, // clamp
+	}
+	for v, want := range cases {
+		h := Histogram([]float64{v})
+		got := -1
+		for i, c := range h {
+			if c == 1 {
+				got = i
+			}
+		}
+		if got != want {
+			t.Errorf("value %g binned to %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramPct(t *testing.T) {
+	vals := []float64{5, 5, 95, 95}
+	pct := HistogramPct(vals)
+	if pct[0] != 50 || pct[9] != 50 {
+		t.Errorf("pct = %v", pct)
+	}
+	total := 0.0
+	for _, p := range pct {
+		total += p
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("histogram percentages sum to %g", total)
+	}
+	empty := HistogramPct(nil)
+	for _, p := range empty {
+		if p != 0 {
+			t.Error("empty histogram non-zero")
+		}
+	}
+}
+
+func TestBinLabel(t *testing.T) {
+	if BinLabel(0) != "[0,10]" {
+		t.Errorf("BinLabel(0) = %q", BinLabel(0))
+	}
+	if BinLabel(9) != "(90,100]" {
+		t.Errorf("BinLabel(9) = %q", BinLabel(9))
+	}
+}

@@ -1,0 +1,137 @@
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// FCM is an order-k finite-context-method value predictor (the two-level
+// scheme of Sazeides & Smith, contemporary with the paper): the first level
+// records each instruction's recent value history, the second level maps
+// (instruction, history) contexts to the value that followed last time.
+//
+// The paper's predictors are last-value and stride only; FCM is implemented
+// here as an extension to test whether profile-guided classification remains
+// attractive for context-based predictors — i.e., whether the instructions
+// FCM captures beyond stride are still a stable, profile-detectable set.
+// Both levels are unbounded, matching the infinite-table methodology of
+// Section 5.1.
+type FCM struct {
+	order int
+	insts map[int64]*fcmInst
+	// second level: (instruction address, history hash) → next value
+	values map[fcmKey]isa.Word
+}
+
+type fcmKey struct {
+	addr int64
+	hash uint64
+}
+
+type fcmInst struct {
+	history []isa.Word // ring of the most recent values, oldest first
+	seen    int
+	// per-instruction statistics
+	attempts int64
+	correct  int64
+}
+
+// NewFCM builds an order-k FCM predictor. Orders 1..8 are sensible; the
+// classic configuration is order 4.
+func NewFCM(order int) (*FCM, error) {
+	if order < 1 || order > 8 {
+		return nil, fmt.Errorf("predictor: FCM order %d outside [1,8]", order)
+	}
+	return &FCM{
+		order:  order,
+		insts:  make(map[int64]*fcmInst),
+		values: make(map[fcmKey]isa.Word),
+	}, nil
+}
+
+// Order returns the context depth.
+func (f *FCM) Order() int { return f.order }
+
+// Observe processes one dynamic value: it predicts from the current context
+// (if the instruction's history is warm and the context was seen before),
+// then trains both levels. It returns whether a prediction was attempted and
+// whether it was correct.
+func (f *FCM) Observe(addr int64, value isa.Word) (attempted, correct bool) {
+	inst, ok := f.insts[addr]
+	if !ok {
+		inst = &fcmInst{history: make([]isa.Word, 0, f.order)}
+		f.insts[addr] = inst
+	}
+	if inst.seen >= f.order {
+		key := fcmKey{addr: addr, hash: hashHistory(inst.history)}
+		if pred, ok := f.values[key]; ok {
+			attempted = true
+			correct = pred == value
+			inst.attempts++
+			if correct {
+				inst.correct++
+			}
+		}
+		f.values[key] = value
+	}
+	// Slide the history window.
+	if len(inst.history) == f.order {
+		copy(inst.history, inst.history[1:])
+		inst.history[f.order-1] = value
+	} else {
+		inst.history = append(inst.history, value)
+	}
+	inst.seen++
+	return attempted, correct
+}
+
+// hashHistory folds a value history into a 64-bit context identifier
+// (FNV-1a over the raw words).
+func hashHistory(h []isa.Word) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	acc := uint64(offset)
+	for _, v := range h {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			acc ^= x & 0xff
+			acc *= prime
+			x >>= 8
+		}
+	}
+	return acc
+}
+
+// FCMInstStat reports one instruction's FCM predictability.
+type FCMInstStat struct {
+	Addr     int64
+	Attempts int64
+	Correct  int64
+}
+
+// Accuracy is the per-instruction FCM prediction accuracy in percent.
+func (s FCMInstStat) Accuracy() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return 100 * float64(s.Correct) / float64(s.Attempts)
+}
+
+// ForEachInst visits per-instruction FCM statistics in unspecified order.
+func (f *FCM) ForEachInst(fn func(FCMInstStat)) {
+	for addr, inst := range f.insts {
+		fn(FCMInstStat{Addr: addr, Attempts: inst.attempts, Correct: inst.correct})
+	}
+}
+
+// Totals aggregates attempts and correct predictions over all instructions.
+func (f *FCM) Totals() (attempts, correct int64) {
+	for _, inst := range f.insts {
+		attempts += inst.attempts
+		correct += inst.correct
+	}
+	return attempts, correct
+}

@@ -1,0 +1,140 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFCMOrderValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 9, 100} {
+		if _, err := NewFCM(bad); err == nil {
+			t.Errorf("order %d accepted", bad)
+		}
+	}
+	f, err := NewFCM(4)
+	if err != nil || f.Order() != 4 {
+		t.Fatalf("NewFCM(4) = %v, %v", f, err)
+	}
+}
+
+func TestFCMLearnsPeriodicSequence(t *testing.T) {
+	f, err := NewFCM(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Period-3 sequence: stride predictors fail on it, order-2 FCM is
+	// exact once each context has been seen.
+	seq := []int64{10, 20, 30}
+	warm := 3 * 3 // three full periods to populate contexts
+	correct, attempts := 0, 0
+	for i := 0; i < 60; i++ {
+		v := seq[i%3]
+		att, ok := f.Observe(77, v)
+		if i >= warm {
+			if !att {
+				t.Fatalf("step %d: no prediction attempted after warm-up", i)
+			}
+			attempts++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if correct != attempts {
+		t.Errorf("FCM missed %d of %d on a periodic sequence", attempts-correct, attempts)
+	}
+}
+
+func TestFCMColdStart(t *testing.T) {
+	f, _ := NewFCM(4)
+	// The first `order` observations build history; the next sees a
+	// fresh context: no attempt before the same context recurs.
+	for i := 0; i < 4; i++ {
+		if att, _ := f.Observe(1, int64(i)); att {
+			t.Errorf("attempt during history warm-up at step %d", i)
+		}
+	}
+	if att, _ := f.Observe(1, 99); att {
+		t.Error("attempt on a never-seen context")
+	}
+}
+
+func TestFCMPerInstructionIsolation(t *testing.T) {
+	f, _ := NewFCM(1)
+	// Two instructions with identical value streams must not share
+	// second-level entries in a way that corrupts stats.
+	for i := 0; i < 10; i++ {
+		f.Observe(1, 5)
+		f.Observe(2, 5)
+	}
+	n := 0
+	f.ForEachInst(func(s FCMInstStat) {
+		n++
+		if s.Attempts == 0 || s.Correct != s.Attempts {
+			t.Errorf("inst %d: %d/%d on a constant stream", s.Addr, s.Correct, s.Attempts)
+		}
+		if s.Accuracy() != 100 {
+			t.Errorf("inst %d accuracy = %g", s.Addr, s.Accuracy())
+		}
+	})
+	if n != 2 {
+		t.Errorf("ForEachInst visited %d", n)
+	}
+	att, corr := f.Totals()
+	if att != corr || att == 0 {
+		t.Errorf("totals = %d/%d", corr, att)
+	}
+}
+
+func TestFCMRandomStreamIsHard(t *testing.T) {
+	f, _ := NewFCM(4)
+	rng := uint64(7)
+	correct, attempts := int64(0), int64(0)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		att, ok := f.Observe(3, int64(rng>>8))
+		if att {
+			attempts++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if attempts > 0 && float64(correct)/float64(attempts) > 0.05 {
+		t.Errorf("FCM 'predicted' %d/%d of a random stream", correct, attempts)
+	}
+}
+
+// TestFCMStatsInvariants: property — correct ≤ attempts for every
+// instruction under arbitrary value streams.
+func TestFCMStatsInvariants(t *testing.T) {
+	f := func(vals []int16, order uint8) bool {
+		fcm, err := NewFCM(int(order%4) + 1)
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			fcm.Observe(int64(i%3), int64(v))
+		}
+		ok := true
+		fcm.ForEachInst(func(s FCMInstStat) {
+			if s.Correct > s.Attempts || s.Attempts < 0 {
+				ok = false
+			}
+			if acc := s.Accuracy(); acc < 0 || acc > 100 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCMStatAccuracyZeroDivision(t *testing.T) {
+	var s FCMInstStat
+	if s.Accuracy() != 0 {
+		t.Error("zero-attempt accuracy should be 0")
+	}
+}

@@ -1,0 +1,70 @@
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Hybrid is the two-table predictor the paper's profile classification
+// enables (Sections 3.1 and 6): a relatively small stride table serving only
+// instructions tagged with the "stride" directive, and a larger last-value
+// table serving instructions tagged "last-value". Routing by directive means
+// the expensive stride field is never wasted on instructions that merely
+// reuse their last value.
+type Hybrid struct {
+	StrideTable Store
+	LastTable   Store
+}
+
+// HybridConfig sizes the two finite tables.
+type HybridConfig struct {
+	StrideEntries int
+	StrideAssoc   int
+	LastEntries   int
+	LastAssoc     int
+}
+
+// DefaultHybridConfig gives the stride table a quarter of the entries of the
+// last-value table, reflecting Section 2.5's observation that the
+// stride-predictable subset of instructions is the much smaller one. The
+// total storage cost (128 two-field entries + 512 one-field entries) is
+// comparable to the paper's monolithic 512-entry two-field stride table.
+var DefaultHybridConfig = HybridConfig{
+	StrideEntries: 128, StrideAssoc: 2,
+	LastEntries: 512, LastAssoc: 2,
+}
+
+// NewHybrid builds a finite hybrid predictor.
+func NewHybrid(cfg HybridConfig) (*Hybrid, error) {
+	// The last-value table only needs Entries to be a power of two for
+	// indexing; round down odd splits to the nearest valid geometry.
+	st, err := NewTable(Stride, TableConfig{Entries: cfg.StrideEntries, Assoc: cfg.StrideAssoc})
+	if err != nil {
+		return nil, fmt.Errorf("predictor: hybrid stride table: %w", err)
+	}
+	lt, err := NewTable(LastValue, TableConfig{Entries: cfg.LastEntries, Assoc: cfg.LastAssoc})
+	if err != nil {
+		return nil, fmt.Errorf("predictor: hybrid last-value table: %w", err)
+	}
+	return &Hybrid{StrideTable: st, LastTable: lt}, nil
+}
+
+// NewInfiniteHybrid builds an unbounded hybrid predictor.
+func NewInfiniteHybrid() *Hybrid {
+	return &Hybrid{StrideTable: NewInfinite(Stride), LastTable: NewInfinite(LastValue)}
+}
+
+// TableFor routes an instruction to the table its directive selects, or nil
+// for untagged instructions (which are not candidates for value prediction
+// under profile classification).
+func (h *Hybrid) TableFor(dir isa.Directive) Store {
+	switch dir {
+	case isa.DirStride:
+		return h.StrideTable
+	case isa.DirLastValue:
+		return h.LastTable
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,42 @@
+package predictor
+
+import "repro/internal/isa"
+
+// Infinite is an unbounded prediction table: every instruction gets a
+// private entry that is never evicted. The paper uses infinite tables to
+// isolate pure classification behaviour from table-capacity effects
+// (Section 5.1), and the profiler measures per-instruction predictability
+// with the same semantics.
+type Infinite struct {
+	kind    Kind
+	entries map[int64]*Entry
+}
+
+// NewInfinite creates an empty infinite table.
+func NewInfinite(kind Kind) *Infinite {
+	return &Infinite{kind: kind, entries: make(map[int64]*Entry)}
+}
+
+// Kind implements Store.
+func (t *Infinite) Kind() Kind { return t.kind }
+
+// Len implements Store.
+func (t *Infinite) Len() int { return len(t.entries) }
+
+// Lookup implements Store.
+func (t *Infinite) Lookup(addr int64) *Entry { return t.entries[addr] }
+
+// Allocate implements Store.
+func (t *Infinite) Allocate(addr int64, value isa.Word) *Entry {
+	if e, ok := t.entries[addr]; ok {
+		return e
+	}
+	e := &Entry{Tag: addr, LastVal: value, valid: true}
+	t.entries[addr] = e
+	return e
+}
+
+var (
+	_ Store = (*Table)(nil)
+	_ Store = (*Infinite)(nil)
+)

@@ -1,0 +1,85 @@
+// Package predictor implements the paper's two hardware value predictors —
+// the last-value predictor of Lipasti/Wilkerson/Shen [9][10] and the stride
+// predictor of Gabbay/Mendelson [4][5] — over both finite set-associative
+// prediction tables and infinite (map-backed) tables used to isolate
+// methodology effects, plus the hybrid two-table predictor the paper's
+// profile-guided classification enables (Section 3.1, point 4).
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Kind selects the prediction function.
+type Kind uint8
+
+const (
+	// LastValue predicts the most recently produced value.
+	LastValue Kind = iota
+	// Stride predicts last value + (last observed stride).
+	Stride
+)
+
+// String names the predictor kind as in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case LastValue:
+		return "last-value"
+	case Stride:
+		return "stride"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one prediction-table entry: the tag identifies the instruction,
+// LastVal and StrideVal implement the two prediction functions (StrideVal is
+// only trained and used by stride tables), and Counter is the per-entry
+// saturating-counter state used by the hardware classification mechanism of
+// [9][10].
+type Entry struct {
+	Tag       int64
+	LastVal   isa.Word
+	StrideVal isa.Word
+	Counter   uint8
+	// Trained reports whether the entry has been updated at least once
+	// since allocation; a freshly allocated entry predicts the value it
+	// was allocated with and has a zero stride.
+	Trained bool
+	valid   bool
+	lru     uint64
+}
+
+// Predict returns the value the entry predicts under kind, and whether that
+// prediction uses a non-zero stride (always false for last-value).
+func (e *Entry) Predict(kind Kind) (value isa.Word, nonZeroStride bool) {
+	if kind == Stride {
+		return e.LastVal + e.StrideVal, e.StrideVal != 0
+	}
+	return e.LastVal, false
+}
+
+// Train updates the entry with the actual outcome value. Stride is always
+// the difference of the two most recent consecutive destination values, per
+// Section 2.1.
+func (e *Entry) Train(value isa.Word) {
+	e.StrideVal = value - e.LastVal
+	e.LastVal = value
+	e.Trained = true
+}
+
+// Store is the common interface of finite and infinite prediction tables.
+type Store interface {
+	// Lookup returns the entry for addr, or nil on a table miss.
+	Lookup(addr int64) *Entry
+	// Allocate inserts an entry for addr initialized with value (evicting
+	// if necessary) and returns it. If addr is already present the
+	// existing entry is returned unchanged.
+	Allocate(addr int64, value isa.Word) *Entry
+	// Kind reports the prediction function of the table.
+	Kind() Kind
+	// Len reports the number of valid entries.
+	Len() int
+}

@@ -1,0 +1,132 @@
+package predictor
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// TableConfig describes finite prediction-table geometry. The paper's main
+// finite-table experiments use a 512-entry, 2-way set-associative stride
+// table (Section 5.2).
+type TableConfig struct {
+	// Entries is the total entry count; must be a power of two.
+	Entries int
+	// Assoc is the set associativity; must divide Entries and be ≥ 1.
+	Assoc int
+}
+
+// DefaultTableConfig is the paper's Section 5.2 configuration.
+var DefaultTableConfig = TableConfig{Entries: 512, Assoc: 2}
+
+// Validate checks the geometry.
+func (c TableConfig) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("predictor: entries %d must be a positive power of two", c.Entries)
+	}
+	if c.Assoc <= 0 || c.Entries%c.Assoc != 0 {
+		return fmt.Errorf("predictor: associativity %d must be positive and divide entries %d", c.Assoc, c.Entries)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c TableConfig) Sets() int { return c.Entries / c.Assoc }
+
+// Table is a finite set-associative prediction table indexed by the low bits
+// of the instruction address, with the high bits as tag (figure 2.1 of the
+// paper) and LRU replacement within each set.
+type Table struct {
+	kind      Kind
+	cfg       TableConfig
+	indexBits uint
+	entries   []Entry // sets laid out contiguously: set s occupies [s*assoc, (s+1)*assoc)
+	clock     uint64
+	valid     int
+	// Evictions counts entries displaced by allocation, a measure of
+	// table pressure (Section 5.2's pollution argument).
+	Evictions int64
+}
+
+// NewTable creates an empty finite table.
+func NewTable(kind Kind, cfg TableConfig) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{
+		kind:      kind,
+		cfg:       cfg,
+		indexBits: uint(bits.TrailingZeros(uint(cfg.Sets()))),
+		entries:   make([]Entry, cfg.Entries),
+	}, nil
+}
+
+// Kind implements Store.
+func (t *Table) Kind() Kind { return t.kind }
+
+// Len implements Store.
+func (t *Table) Len() int { return t.valid }
+
+// Config returns the table geometry.
+func (t *Table) Config() TableConfig { return t.cfg }
+
+// setAndTag splits an instruction address into set index and tag.
+func (t *Table) setAndTag(addr int64) (set int, tag int64) {
+	mask := int64(t.cfg.Sets() - 1)
+	return int(addr & mask), addr >> t.indexBits
+}
+
+// Lookup implements Store.
+func (t *Table) Lookup(addr int64) *Entry {
+	set, tag := t.setAndTag(addr)
+	base := set * t.cfg.Assoc
+	for i := 0; i < t.cfg.Assoc; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.Tag == tag {
+			t.clock++
+			e.lru = t.clock
+			return e
+		}
+	}
+	return nil
+}
+
+// Allocate implements Store: it victimizes the LRU way of the set.
+func (t *Table) Allocate(addr int64, value isa.Word) *Entry {
+	if e := t.Lookup(addr); e != nil {
+		return e
+	}
+	set, tag := t.setAndTag(addr)
+	base := set * t.cfg.Assoc
+	victim := &t.entries[base]
+	for i := 1; i < t.cfg.Assoc; i++ {
+		e := &t.entries[base+i]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if !victim.valid {
+			break
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	if victim.valid {
+		t.Evictions++
+	} else {
+		t.valid++
+	}
+	t.clock++
+	*victim = Entry{Tag: tag, LastVal: value, valid: true, lru: t.clock}
+	return victim
+}
+
+// Reset invalidates every entry, preserving geometry.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = Entry{}
+	}
+	t.clock, t.valid, t.Evictions = 0, 0, 0
+}

@@ -1,0 +1,243 @@
+package profiler
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one line of a profile image: the per-instruction record the
+// paper's table 3.1 illustrates (instruction address, prediction accuracy,
+// stride efficiency ratio), kept as raw counts so images can be merged and
+// re-thresholded without precision loss.
+type Entry struct {
+	Addr                 int64
+	Executions           int64
+	Attempts             int64
+	CorrectStride        int64
+	NonZeroStrideCorrect int64
+	CorrectLast          int64
+}
+
+// Accuracy is the stride-predictor prediction accuracy in percent.
+func (e Entry) Accuracy() float64 { return pct(e.CorrectStride, e.Attempts) }
+
+// StrideEfficiency is the stride efficiency ratio in percent.
+func (e Entry) StrideEfficiency() float64 { return pct(e.NonZeroStrideCorrect, e.CorrectStride) }
+
+// Image is a complete profile image file: the output of the profile phase
+// and the input of the annotation phase.
+type Image struct {
+	// Program names the profiled program; annotation refuses images whose
+	// program name does not match.
+	Program string
+	// Input describes the training input the image was collected under.
+	Input string
+	// Entries is sorted by instruction address.
+	Entries []Entry
+}
+
+// Image extracts the profile image from the collector.
+func (c *Collector) Image(programName, input string) *Image {
+	im := &Image{Program: programName, Input: input}
+	for _, s := range c.insts {
+		im.Entries = append(im.Entries, Entry{
+			Addr:                 s.Addr,
+			Executions:           s.Executions,
+			Attempts:             s.TotalAttempts(),
+			CorrectStride:        s.TotalCorrectStride(),
+			NonZeroStrideCorrect: s.TotalNonZeroStrideCorrect(),
+			CorrectLast:          s.TotalCorrectLast(),
+		})
+	}
+	sort.Slice(im.Entries, func(i, j int) bool { return im.Entries[i].Addr < im.Entries[j].Addr })
+	return im
+}
+
+// Lookup finds the entry for addr.
+func (im *Image) Lookup(addr int64) (Entry, bool) {
+	i := sort.Search(len(im.Entries), func(i int) bool { return im.Entries[i].Addr >= addr })
+	if i < len(im.Entries) && im.Entries[i].Addr == addr {
+		return im.Entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Merge combines several images of the same program (collected under
+// different training inputs) by summing per-instruction counts; the union of
+// instructions is kept. Merging is how a multi-run profile (Section 3.2:
+// "the program can be run either single or multiple times") is condensed
+// into one image for the compiler.
+func Merge(images ...*Image) (*Image, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("profiler: merge of zero images")
+	}
+	prog := images[0].Program
+	acc := make(map[int64]Entry)
+	var inputs []string
+	for _, im := range images {
+		if im.Program != prog {
+			return nil, fmt.Errorf("profiler: merge of different programs %q and %q", prog, im.Program)
+		}
+		inputs = append(inputs, im.Input)
+		for _, e := range im.Entries {
+			a := acc[e.Addr]
+			a.Addr = e.Addr
+			a.Executions += e.Executions
+			a.Attempts += e.Attempts
+			a.CorrectStride += e.CorrectStride
+			a.NonZeroStrideCorrect += e.NonZeroStrideCorrect
+			a.CorrectLast += e.CorrectLast
+			acc[e.Addr] = a
+		}
+	}
+	out := &Image{Program: prog, Input: strings.Join(inputs, "+")}
+	for _, e := range acc {
+		out.Entries = append(out.Entries, e)
+	}
+	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Addr < out.Entries[j].Addr })
+	return out, nil
+}
+
+// The text file format:
+//
+//	# vpprof image v1
+//	program <name>
+//	input <description>
+//	# addr execs attempts correct_stride nonzero_stride_correct correct_last
+//	12 1000 999 995 995 4
+//	...
+
+const imageHeader = "# vpprof image v1"
+
+// Encode writes the image in its text format.
+func (im *Image) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, imageHeader)
+	fmt.Fprintf(bw, "program %s\n", im.Program)
+	fmt.Fprintf(bw, "input %s\n", im.Input)
+	fmt.Fprintln(bw, "# addr execs attempts correct_stride nonzero_stride_correct correct_last")
+	for _, e := range im.Entries {
+		fmt.Fprintf(bw, "%d %d %d %d %d %d\n",
+			e.Addr, e.Executions, e.Attempts, e.CorrectStride, e.NonZeroStrideCorrect, e.CorrectLast)
+	}
+	return bw.Flush()
+}
+
+// Decode parses a profile image from its text format, validating counts.
+func Decode(r io.Reader) (*Image, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok || hdr != imageHeader {
+		return nil, fmt.Errorf("profiler: line %d: missing %q header", line, imageHeader)
+	}
+	im := &Image{}
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		if strings.HasPrefix(s, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, "program "):
+			im.Program = strings.TrimSpace(strings.TrimPrefix(s, "program "))
+		case strings.HasPrefix(s, "input "):
+			im.Input = strings.TrimSpace(strings.TrimPrefix(s, "input "))
+		default:
+			f := strings.Fields(s)
+			if len(f) != 6 {
+				return nil, fmt.Errorf("profiler: line %d: want 6 fields, got %d", line, len(f))
+			}
+			var vals [6]int64
+			for i, tok := range f {
+				v, err := strconv.ParseInt(tok, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("profiler: line %d: field %d: %v", line, i+1, err)
+				}
+				vals[i] = v
+			}
+			e := Entry{
+				Addr:                 vals[0],
+				Executions:           vals[1],
+				Attempts:             vals[2],
+				CorrectStride:        vals[3],
+				NonZeroStrideCorrect: vals[4],
+				CorrectLast:          vals[5],
+			}
+			if err := e.validate(); err != nil {
+				return nil, fmt.Errorf("profiler: line %d: %v", line, err)
+			}
+			im.Entries = append(im.Entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(im.Entries, func(i, j int) bool { return im.Entries[i].Addr < im.Entries[j].Addr })
+	for i := 1; i < len(im.Entries); i++ {
+		if im.Entries[i].Addr == im.Entries[i-1].Addr {
+			return nil, fmt.Errorf("profiler: duplicate entry for address %d", im.Entries[i].Addr)
+		}
+	}
+	return im, nil
+}
+
+func (e Entry) validate() error {
+	switch {
+	case e.Addr < 0:
+		return fmt.Errorf("negative address %d", e.Addr)
+	case e.Executions < 0 || e.Attempts < 0 || e.CorrectStride < 0 || e.NonZeroStrideCorrect < 0 || e.CorrectLast < 0:
+		return fmt.Errorf("negative count in entry for address %d", e.Addr)
+	case e.Attempts > e.Executions:
+		return fmt.Errorf("address %d: attempts %d exceed executions %d", e.Addr, e.Attempts, e.Executions)
+	case e.CorrectStride > e.Attempts:
+		return fmt.Errorf("address %d: correct %d exceeds attempts %d", e.Addr, e.CorrectStride, e.Attempts)
+	case e.NonZeroStrideCorrect > e.CorrectStride:
+		return fmt.Errorf("address %d: non-zero-stride correct %d exceeds correct %d", e.Addr, e.NonZeroStrideCorrect, e.CorrectStride)
+	case e.CorrectLast > e.Attempts:
+		return fmt.Errorf("address %d: correct-last %d exceeds attempts %d", e.Addr, e.CorrectLast, e.Attempts)
+	}
+	return nil
+}
+
+// SaveFile writes the image to a file.
+func (im *Image) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := im.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an image from a file.
+func LoadFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,154 @@
+// Package profiler implements the paper's profile phase (phase #2 of figure
+// 3.1): it observes a program's dynamic instruction stream and measures, for
+// every static instruction that writes a computed value to a destination
+// register, the value-prediction accuracy and the stride efficiency ratio.
+// The result is the profile image the compiler's annotation pass consumes.
+//
+// As in the paper, profiling emulates the stride predictor with an
+// unbounded table (one private entry per static instruction): the stride
+// predictor subsumes the last-value predictor (a zero stride predicts the
+// last value), so a single profiling run measures both, and the non-zero
+// stride share of correct predictions is exactly the stride efficiency
+// ratio of Section 2.5.
+package profiler
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// NumPhases is the number of execution phases tracked separately. The FP
+// benchmarks distinguish initialization (phase 0) from computation (phase 1)
+// per Table 2.1; later phases are folded into the last slot.
+const NumPhases = 2
+
+// InstStat accumulates the profile of one static instruction.
+type InstStat struct {
+	Addr int64
+	// FP and Load record the instruction class, for Table 2.1 breakdowns.
+	FP   bool
+	Load bool
+	// Executions counts value-producing executions (including the first,
+	// which cannot be predicted).
+	Executions int64
+	// Attempts, CorrectLast, CorrectStride and NonZeroStrideCorrect are
+	// indexed by phase. An attempt is every execution after the first;
+	// CorrectStride counts stride-predictor hits, NonZeroStrideCorrect
+	// those hits whose stride field was non-zero, CorrectLast last-value-
+	// predictor hits.
+	Attempts             [NumPhases]int64
+	CorrectLast          [NumPhases]int64
+	CorrectStride        [NumPhases]int64
+	NonZeroStrideCorrect [NumPhases]int64
+
+	// Predictor emulation state.
+	lastVal   isa.Word
+	strideVal isa.Word
+	seen      bool
+}
+
+// TotalAttempts sums attempts over phases.
+func (s *InstStat) TotalAttempts() int64 { return sum(s.Attempts) }
+
+// TotalCorrectStride sums stride-predictor hits over phases.
+func (s *InstStat) TotalCorrectStride() int64 { return sum(s.CorrectStride) }
+
+// TotalCorrectLast sums last-value-predictor hits over phases.
+func (s *InstStat) TotalCorrectLast() int64 { return sum(s.CorrectLast) }
+
+// TotalNonZeroStrideCorrect sums non-zero-stride hits over phases.
+func (s *InstStat) TotalNonZeroStrideCorrect() int64 { return sum(s.NonZeroStrideCorrect) }
+
+// Accuracy is the stride-predictor prediction accuracy in percent, the
+// quantity the paper's profile image records per instruction.
+func (s *InstStat) Accuracy() float64 {
+	return pct(s.TotalCorrectStride(), s.TotalAttempts())
+}
+
+// StrideEfficiency is the stride efficiency ratio in percent: successful
+// non-zero-stride predictions over all successful predictions (Section 2.5).
+func (s *InstStat) StrideEfficiency() float64 {
+	return pct(s.TotalNonZeroStrideCorrect(), s.TotalCorrectStride())
+}
+
+func sum(a [NumPhases]int64) int64 {
+	var t int64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+func pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Collector is a trace consumer that builds per-instruction profiles.
+type Collector struct {
+	insts map[int64]*InstStat
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{insts: make(map[int64]*InstStat)}
+}
+
+// Consume implements trace.Consumer.
+func (c *Collector) Consume(r *trace.Record) {
+	if !r.HasDest {
+		return
+	}
+	s, ok := c.insts[r.Addr]
+	if !ok {
+		info := r.Op.Info()
+		s = &InstStat{Addr: r.Addr, FP: info.IsFP, Load: info.IsLoad}
+		c.insts[r.Addr] = s
+	}
+	s.observe(r.Value, r.Phase)
+}
+
+// observe feeds one produced value into the per-instruction predictor
+// emulation; shared by the register and store-value collectors.
+func (s *InstStat) observe(value isa.Word, phase int) {
+	s.Executions++
+	if phase < 0 {
+		phase = 0
+	}
+	if phase >= NumPhases {
+		phase = NumPhases - 1
+	}
+	if s.seen {
+		s.Attempts[phase]++
+		if s.lastVal == value {
+			s.CorrectLast[phase]++
+		}
+		if s.lastVal+s.strideVal == value {
+			s.CorrectStride[phase]++
+			if s.strideVal != 0 {
+				s.NonZeroStrideCorrect[phase]++
+			}
+		}
+		s.strideVal = value - s.lastVal
+		s.lastVal = value
+	} else {
+		s.seen = true
+		s.lastVal = value
+		s.strideVal = 0
+	}
+}
+
+// Stat returns the profile of the instruction at addr, or nil.
+func (c *Collector) Stat(addr int64) *InstStat { return c.insts[addr] }
+
+// NumInstructions reports how many static instructions were profiled.
+func (c *Collector) NumInstructions() int { return len(c.insts) }
+
+// ForEach visits every profiled instruction in unspecified order.
+func (c *Collector) ForEach(f func(*InstStat)) {
+	for _, s := range c.insts {
+		f(s)
+	}
+}

@@ -1,0 +1,53 @@
+package profiler
+
+import "repro/internal/trace"
+
+// StoreCollector profiles the predictability of *stored* values, the
+// extension the paper's Section 2.1 sketches: "these schemes could be
+// generalized and applied to memory storage operands". Each static store
+// instruction gets the same accuracy / stride-efficiency measurement the
+// register profiler applies to destination values, so the annotation
+// machinery could tag stores exactly like register writers.
+type StoreCollector struct {
+	insts map[int64]*InstStat
+}
+
+// NewStoreCollector creates an empty store-value profiler.
+func NewStoreCollector() *StoreCollector {
+	return &StoreCollector{insts: make(map[int64]*InstStat)}
+}
+
+// Consume implements trace.Consumer: it observes the value stream of store
+// instructions (the simulator records the stored value on store records).
+func (c *StoreCollector) Consume(r *trace.Record) {
+	info := r.Op.Info()
+	if !info.IsStore || !r.HasMem {
+		return
+	}
+	s, ok := c.insts[r.Addr]
+	if !ok {
+		s = &InstStat{Addr: r.Addr, FP: info.IsFP}
+		c.insts[r.Addr] = s
+	}
+	s.observe(r.Value, r.Phase)
+}
+
+// Stat returns the profile of the store at addr, or nil.
+func (c *StoreCollector) Stat(addr int64) *InstStat { return c.insts[addr] }
+
+// NumInstructions reports how many static stores were profiled.
+func (c *StoreCollector) NumInstructions() int { return len(c.insts) }
+
+// ForEach visits every profiled store in unspecified order.
+func (c *StoreCollector) ForEach(f func(*InstStat)) {
+	for _, s := range c.insts {
+		f(s)
+	}
+}
+
+// Image extracts a profile image of store-value predictability; it uses the
+// same file format as register profiles.
+func (c *StoreCollector) Image(programName, input string) *Image {
+	tmp := &Collector{insts: c.insts}
+	return tmp.Image(programName, input)
+}

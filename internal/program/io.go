@@ -1,0 +1,204 @@
+package program
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+)
+
+// Binary image format (all integers little-endian):
+//
+//	magic     [8]byte  "VPIMG01\n"
+//	nameLen   uint32, name bytes
+//	entry     int64
+//	textLen   uint32, textLen × uint64 encoded instructions
+//	dataLen   uint32, dataLen × int64 words
+//	symLen    uint32, symLen × { nameLen uint32, name, addr int64, data uint8 }
+
+var magic = [8]byte{'V', 'P', 'I', 'M', 'G', '0', '1', '\n'}
+
+// maxSegment bounds segment lengths accepted by Read, so corrupt headers
+// cannot force absurd allocations.
+const maxSegment = 1 << 28
+
+// Write serializes the program image to w.
+func Write(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := writeString(bw, p.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, p.Entry); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Text))); err != nil {
+		return err
+	}
+	for i, ins := range p.Text {
+		word, err := isa.Encode(ins)
+		if err != nil {
+			return fmt.Errorf("program: write text[%d]: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, word); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Data))); err != nil {
+		return err
+	}
+	for _, w := range p.Data {
+		if err := binary.Write(bw, binary.LittleEndian, w); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Symbols))); err != nil {
+		return err
+	}
+	for _, s := range p.Symbols {
+		if err := writeString(bw, s.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.Addr); err != nil {
+			return err
+		}
+		var d uint8
+		if s.Data {
+			d = 1
+		}
+		if err := binary.Write(bw, binary.LittleEndian, d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a program image from r, validating the result.
+func Read(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("program: read magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("program: bad magic %q (not a program image)", got)
+	}
+	p := &Program{}
+	var err error
+	if p.Name, err = readString(br); err != nil {
+		return nil, fmt.Errorf("program: read name: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &p.Entry); err != nil {
+		return nil, fmt.Errorf("program: read entry: %w", err)
+	}
+	textLen, err := readLen(br, "text")
+	if err != nil {
+		return nil, err
+	}
+	p.Text = make([]isa.Instruction, textLen)
+	for i := range p.Text {
+		var word uint64
+		if err := binary.Read(br, binary.LittleEndian, &word); err != nil {
+			return nil, fmt.Errorf("program: read text[%d]: %w", i, err)
+		}
+		ins, err := isa.Decode(word)
+		if err != nil {
+			return nil, fmt.Errorf("program: text[%d]: %w", i, err)
+		}
+		p.Text[i] = ins
+	}
+	dataLen, err := readLen(br, "data")
+	if err != nil {
+		return nil, err
+	}
+	p.Data = make([]isa.Word, dataLen)
+	for i := range p.Data {
+		if err := binary.Read(br, binary.LittleEndian, &p.Data[i]); err != nil {
+			return nil, fmt.Errorf("program: read data[%d]: %w", i, err)
+		}
+	}
+	symLen, err := readLen(br, "symbols")
+	if err != nil {
+		return nil, err
+	}
+	p.Symbols = make([]Symbol, symLen)
+	for i := range p.Symbols {
+		if p.Symbols[i].Name, err = readString(br); err != nil {
+			return nil, fmt.Errorf("program: read symbol[%d]: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &p.Symbols[i].Addr); err != nil {
+			return nil, fmt.Errorf("program: read symbol[%d] addr: %w", i, err)
+		}
+		var d uint8
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, fmt.Errorf("program: read symbol[%d] kind: %w", i, err)
+		}
+		p.Symbols[i].Data = d != 0
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Save writes the image to a file.
+func Save(path string, p *Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an image from a file.
+func Load(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxSegment {
+		return "", fmt.Errorf("string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readLen(r io.Reader, what string) (int, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, fmt.Errorf("program: read %s length: %w", what, err)
+	}
+	if n > maxSegment {
+		return 0, fmt.Errorf("program: %s length %d too large", what, n)
+	}
+	return int(n), nil
+}

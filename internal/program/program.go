@@ -1,0 +1,112 @@
+// Package program defines the executable image produced by the assembler and
+// consumed by the simulator: a text segment of decoded instructions, an
+// initialized data segment, an entry point, and a symbol table. Images can be
+// serialized to a compact binary form so the command-line tools (vpasm,
+// vpprof, vpannotate, vprun) can be pipelined, mirroring the paper's
+// compile → profile → annotate tool flow.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Addressing model: instruction addresses are indices into the text segment
+// (one word per instruction); data addresses are word indices into the data
+// segment. The two spaces are disjoint, as in a Harvard machine, which keeps
+// the simulator simple without affecting anything the predictors observe.
+
+// Symbol is one named address in the text or data segment.
+type Symbol struct {
+	Name string
+	Addr int64
+	Data bool // true if the symbol names a data-segment address
+}
+
+// Program is an executable image.
+type Program struct {
+	// Name identifies the program (workload name or source file).
+	Name string
+	// Text is the instruction segment; the instruction at address a is
+	// Text[a].
+	Text []isa.Instruction
+	// Data is the initial contents of the data segment. The simulator
+	// may be given extra memory beyond len(Data).
+	Data []isa.Word
+	// Entry is the text address where execution starts.
+	Entry int64
+	// Symbols lists the labels defined by the source, sorted by name.
+	Symbols []Symbol
+}
+
+// Validate checks structural invariants: entry point and all control-transfer
+// targets inside the text segment, all instructions well-formed for encoding.
+func (p *Program) Validate() error {
+	if len(p.Text) == 0 {
+		return fmt.Errorf("program %q: empty text segment", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= int64(len(p.Text)) {
+		return fmt.Errorf("program %q: entry point %d outside text [0,%d)", p.Name, p.Entry, len(p.Text))
+	}
+	for addr, ins := range p.Text {
+		if _, err := isa.Encode(ins); err != nil {
+			return fmt.Errorf("program %q: text[%d]: %w", p.Name, addr, err)
+		}
+		info := ins.Op.Info()
+		if info.IsBranch || ins.Op == isa.OpJMP || ins.Op == isa.OpJAL {
+			if ins.Imm < 0 || ins.Imm >= int64(len(p.Text)) {
+				return fmt.Errorf("program %q: text[%d]: %s target %d outside text [0,%d)",
+					p.Name, addr, ins.Op, ins.Imm, len(p.Text))
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup finds a symbol by name.
+func (p *Program) Lookup(name string) (Symbol, bool) {
+	i := sort.Search(len(p.Symbols), func(i int) bool { return p.Symbols[i].Name >= name })
+	if i < len(p.Symbols) && p.Symbols[i].Name == name {
+		return p.Symbols[i], true
+	}
+	return Symbol{}, false
+}
+
+// SortSymbols puts the symbol table in the name order Lookup requires.
+func (p *Program) SortSymbols() {
+	sort.Slice(p.Symbols, func(i, j int) bool { return p.Symbols[i].Name < p.Symbols[j].Name })
+}
+
+// Clone returns a deep copy of the program. The annotation pass clones the
+// input so the original image stays untouched.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:    p.Name,
+		Text:    make([]isa.Instruction, len(p.Text)),
+		Data:    make([]isa.Word, len(p.Data)),
+		Entry:   p.Entry,
+		Symbols: make([]Symbol, len(p.Symbols)),
+	}
+	copy(q.Text, p.Text)
+	copy(q.Data, p.Data)
+	copy(q.Symbols, p.Symbols)
+	return q
+}
+
+// DirectiveCounts tallies how many text instructions carry each directive;
+// the annotation tools report these.
+func (p *Program) DirectiveCounts() (none, lastValue, stride int) {
+	for _, ins := range p.Text {
+		switch ins.Dir {
+		case isa.DirLastValue:
+			lastValue++
+		case isa.DirStride:
+			stride++
+		default:
+			none++
+		}
+	}
+	return none, lastValue, stride
+}

@@ -1,0 +1,186 @@
+package program
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func sample() *Program {
+	p := &Program{
+		Name: "sample",
+		Text: []isa.Instruction{
+			{Op: isa.OpLDI, Rd: 1, Imm: 3},
+			{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: -1, Dir: isa.DirStride},
+			{Op: isa.OpBNE, Rs1: 1, Rs2: 0, Imm: 1},
+			{Op: isa.OpHALT},
+		},
+		Data:  []isa.Word{7, -9, 0},
+		Entry: 0,
+		Symbols: []Symbol{
+			{Name: "main", Addr: 0},
+			{Name: "buf", Addr: 0, Data: true},
+		},
+	}
+	p.SortSymbols()
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	p := sample()
+	p.Text = nil
+	if err := p.Validate(); err == nil {
+		t.Error("empty text accepted")
+	}
+
+	p = sample()
+	p.Entry = 99
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+
+	p = sample()
+	p.Text[2].Imm = 50 // branch outside text
+	if err := p.Validate(); err == nil {
+		t.Error("branch outside text accepted")
+	}
+
+	p = sample()
+	p.Text[0].Op = isa.Opcode(240)
+	if err := p.Validate(); err == nil {
+		t.Error("unencodable instruction accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := sample()
+	if s, ok := p.Lookup("buf"); !ok || !s.Data {
+		t.Errorf("Lookup(buf) = %+v, %v", s, ok)
+	}
+	if _, ok := p.Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := sample()
+	q := p.Clone()
+	q.Text[0].Imm = 42
+	q.Data[0] = 42
+	q.Symbols[0].Name = "x"
+	if p.Text[0].Imm == 42 || p.Data[0] == 42 || p.Symbols[0].Name == "x" {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestDirectiveCounts(t *testing.T) {
+	p := sample()
+	none, lv, st := p.DirectiveCounts()
+	if none != 3 || lv != 0 || st != 1 {
+		t.Errorf("DirectiveCounts = %d,%d,%d; want 3,0,1", none, lv, st)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Entry != p.Entry {
+		t.Errorf("header mismatch: %q/%d vs %q/%d", q.Name, q.Entry, p.Name, p.Entry)
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("text length mismatch")
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Errorf("text[%d] mismatch: %v vs %v", i, q.Text[i], p.Text[i])
+		}
+	}
+	for i := range p.Data {
+		if q.Data[i] != p.Data[i] {
+			t.Errorf("data[%d] mismatch", i)
+		}
+	}
+	if len(q.Symbols) != len(p.Symbols) {
+		t.Fatalf("symbol count mismatch")
+	}
+	for i := range p.Symbols {
+		if q.Symbols[i] != p.Symbols[i] {
+			t.Errorf("symbol[%d] mismatch: %+v vs %+v", i, q.Symbols[i], p.Symbols[i])
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img.vp")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "sample" {
+		t.Errorf("loaded name = %q", q.Name)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOTMAGIC and then some"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic not rejected: %v", err)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate at several points; every prefix must fail cleanly, never
+	// panic or succeed.
+	for _, n := range []int{0, 4, 8, 12, 20, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncated image (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestReadRejectsCorruptInstruction(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The first text word starts after magic(8) + nameLen(4) + name(6) +
+	// entry(8) + textLen(4). Corrupt its opcode byte.
+	off := 8 + 4 + len("sample") + 8 + 4
+	b[off] = 0xff
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("corrupt instruction accepted")
+	}
+}
+
+func TestReadRejectsHugeSegment(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("VPIMG01\n"))
+	// nameLen = 0xffffffff: must be rejected before allocating.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := Read(&buf); err == nil {
+		t.Error("huge segment length accepted")
+	}
+}

@@ -1,0 +1,325 @@
+// Package sched implements profile-aware basic-block instruction scheduling,
+// the second direction the paper's conclusion announces ("we are examining
+// the effect of the profiling information on the scheduling of instruction
+// within a basic block").
+//
+// The idea: once an instruction is tagged value-predictable, its consumers
+// no longer need to be scheduled away from it — the predicted value decouples
+// them — so the scheduler can treat dependence edges out of tagged producers
+// as free and spend its ordering freedom on the *unpredictable* chains. The
+// package provides basic-block extraction from a program image, a
+// conservative dependence analysis (registers exactly; memory as a serial
+// chain), a list scheduler with directive-aware edge latencies, and a
+// semantic-equivalence guarantee: any schedule it produces executes
+// identically to the original program.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Block is one basic block: instructions [Start, End) with a single entry at
+// Start and a single exit at End-1.
+type Block struct {
+	Start, End int64
+}
+
+// Len returns the block size in instructions.
+func (b Block) Len() int64 { return b.End - b.Start }
+
+// Blocks partitions a program's text into basic blocks. Leaders are the
+// entry point, every control-transfer target, and every instruction
+// following a control transfer or HALT.
+func Blocks(p *program.Program) []Block {
+	n := int64(len(p.Text))
+	leader := make([]bool, n)
+	if n == 0 {
+		return nil
+	}
+	leader[0] = true
+	if p.Entry < n {
+		leader[p.Entry] = true
+	}
+	for addr, ins := range p.Text {
+		info := ins.Op.Info()
+		if info.IsBranch || info.IsJump || ins.Op == isa.OpHALT {
+			if int64(addr)+1 < n {
+				leader[addr+1] = true
+			}
+			if (info.IsBranch || ins.Op == isa.OpJMP || ins.Op == isa.OpJAL) && ins.Imm < n {
+				leader[ins.Imm] = true
+			}
+		}
+	}
+	var blocks []Block
+	start := int64(0)
+	for addr := int64(1); addr < n; addr++ {
+		if leader[addr] {
+			blocks = append(blocks, Block{Start: start, End: addr})
+			start = addr
+		}
+	}
+	blocks = append(blocks, Block{Start: start, End: n})
+	return blocks
+}
+
+// Options control scheduling.
+type Options struct {
+	// UseDirectives makes dependence edges out of directive-tagged
+	// (value-predictable) producers free: their consumers can be hoisted
+	// right next to them, concentrating schedule slack on the
+	// unpredictable chains. Without it the scheduler is a plain
+	// height-priority list scheduler.
+	UseDirectives bool
+}
+
+// Stats reports what the scheduler did.
+type Stats struct {
+	Blocks int
+	// Moved counts instructions whose position changed.
+	Moved int
+}
+
+// Schedule returns a copy of p with every basic block list-scheduled. The
+// result is semantically identical to the input: only intra-block order
+// changes, all dependence constraints (register RAW/WAR/WAW, memory ordering,
+// terminator placement, PHASE barriers) are respected, and every block
+// occupies its original address range so control-transfer targets stay
+// valid.
+func Schedule(p *program.Program, opts Options) (*program.Program, Stats, error) {
+	var st Stats
+	if err := p.Validate(); err != nil {
+		return nil, st, err
+	}
+	out := p.Clone()
+	for _, b := range Blocks(out) {
+		moved, err := scheduleBlock(out.Text, b, opts)
+		if err != nil {
+			return nil, st, fmt.Errorf("sched: block [%d,%d): %w", b.Start, b.End, err)
+		}
+		st.Blocks++
+		st.Moved += moved
+	}
+	if err := out.Validate(); err != nil {
+		return nil, st, fmt.Errorf("sched: produced invalid program: %w", err)
+	}
+	return out, st, nil
+}
+
+// scheduleBlock reorders text[b.Start:b.End] in place.
+func scheduleBlock(text []isa.Instruction, b Block, opts Options) (int, error) {
+	n := int(b.Len())
+	if n <= 2 {
+		return 0, nil
+	}
+	ins := text[b.Start:b.End]
+
+	// The terminator (control transfer or HALT), if present, is pinned
+	// last; PHASE markers are scheduling barriers, so blocks containing
+	// them are left untouched (they only occur a handful of times).
+	last := n
+	if info := ins[n-1].Op.Info(); info.IsBranch || info.IsJump || ins[n-1].Op == isa.OpHALT {
+		last = n - 1
+	}
+	for i := 0; i < last; i++ {
+		if ins[i].Op == isa.OpPHASE {
+			return 0, nil
+		}
+	}
+
+	deps := dependences(ins[:last])
+	order, err := listSchedule(ins[:last], deps, opts)
+	if err != nil {
+		return 0, err
+	}
+	// Apply the permutation.
+	moved := 0
+	scheduled := make([]isa.Instruction, last)
+	for pos, idx := range order {
+		scheduled[pos] = ins[idx]
+		if pos != idx {
+			moved++
+		}
+	}
+	copy(ins[:last], scheduled)
+	// The terminator still depends on its register sources; list
+	// scheduling never moves anything past it, so nothing to do.
+	return moved, nil
+}
+
+// dependences builds the intra-block dependence DAG: edges[i] lists the
+// predecessors instruction i must follow.
+func dependences(ins []isa.Instruction) [][]int {
+	var (
+		intWriter [isa.NumIntRegs]int
+		fpWriter  [isa.NumFPRegs]int
+		intReader [isa.NumIntRegs][]int
+		fpReader  [isa.NumFPRegs][]int
+		lastMem   = -1
+	)
+	for i := range intWriter {
+		intWriter[i] = -1
+	}
+	for i := range fpWriter {
+		fpWriter[i] = -1
+	}
+	preds := make([][]int, len(ins))
+	addEdge := func(to int, from int) {
+		if from >= 0 && from != to {
+			preds[to] = append(preds[to], from)
+		}
+	}
+	for i, in := range ins {
+		srcInt, srcFP := sources(in)
+		for _, r := range srcInt {
+			if r != isa.RegZero {
+				addEdge(i, intWriter[r]) // RAW
+				intReader[r] = append(intReader[r], i)
+			}
+		}
+		for _, r := range srcFP {
+			addEdge(i, fpWriter[r])
+			fpReader[r] = append(fpReader[r], i)
+		}
+		info := in.Op.Info()
+		if info.IsLoad || info.IsStore {
+			addEdge(i, lastMem) // conservative serial memory chain
+			lastMem = i
+		}
+		if fp, ok := destination(in); ok {
+			if fp {
+				addEdge(i, fpWriter[in.Rd]) // WAW
+				for _, r := range fpReader[in.Rd] {
+					addEdge(i, r) // WAR
+				}
+				fpWriter[in.Rd] = i
+				fpReader[in.Rd] = nil
+			} else {
+				addEdge(i, intWriter[in.Rd])
+				for _, r := range intReader[in.Rd] {
+					addEdge(i, r)
+				}
+				intWriter[in.Rd] = i
+				intReader[in.Rd] = nil
+			}
+		}
+	}
+	return preds
+}
+
+// sources returns the register sources of an instruction, split by file.
+func sources(in isa.Instruction) (ints, fps []isa.Reg) {
+	info := in.Op.Info()
+	rs1FP, rs2FP := isa.FPSourceOperands(in.Op)
+	switch info.Format {
+	case isa.FormatR:
+		if rs1FP {
+			fps = append(fps, in.Rs1)
+		} else {
+			ints = append(ints, in.Rs1)
+		}
+		if rs2FP {
+			fps = append(fps, in.Rs2)
+		} else {
+			ints = append(ints, in.Rs2)
+		}
+	case isa.FormatI:
+		ints = append(ints, in.Rs1)
+	case isa.FormatLoad:
+		ints = append(ints, in.Rs1)
+	case isa.FormatStore:
+		ints = append(ints, in.Rs1)
+		if rs2FP {
+			fps = append(fps, in.Rs2)
+		} else {
+			ints = append(ints, in.Rs2)
+		}
+	case isa.FormatBranch:
+		ints = append(ints, in.Rs1, in.Rs2)
+	case isa.FormatJALR:
+		ints = append(ints, in.Rs1)
+	case isa.FormatRR:
+		if rs1FP {
+			fps = append(fps, in.Rs1)
+		} else {
+			ints = append(ints, in.Rs1)
+		}
+	}
+	return ints, fps
+}
+
+// destination returns the written register file and whether one is written.
+func destination(in isa.Instruction) (fp bool, ok bool) {
+	info := in.Op.Info()
+	if info.WritesFP {
+		return true, true
+	}
+	if info.WritesInt && in.Rd != isa.RegZero {
+		return false, true
+	}
+	return false, false
+}
+
+// listSchedule produces a topological order by descending critical height.
+// With UseDirectives, RAW-ish edges out of directive-tagged instructions
+// contribute zero latency to heights (their consumers are decoupled by the
+// predicted value), steering priority to the unpredictable chains.
+func listSchedule(ins []isa.Instruction, preds [][]int, opts Options) ([]int, error) {
+	n := len(ins)
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	for i, ps := range preds {
+		for _, p := range ps {
+			succs[p] = append(succs[p], i)
+			indeg[i]++
+		}
+	}
+	// Heights by reverse topological order (indices are already
+	// topological since edges go from lower to higher index).
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		lat := 1
+		if opts.UseDirectives && ins[i].Dir != isa.DirNone {
+			lat = 0
+		}
+		for _, s := range succs[i] {
+			if h := height[s] + lat; h > height[i] {
+				height[i] = h
+			}
+		}
+	}
+	// Greedy list scheduling: always emit the ready instruction with the
+	// greatest height (ties: original order, for stability).
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool {
+			if height[ready[a]] != height[ready[b]] {
+				return height[ready[a]] > height[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		next := ready[0]
+		ready = ready[1:]
+		order = append(order, next)
+		for _, s := range succs[next] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dependence cycle (%d of %d scheduled)", len(order), n)
+	}
+	return order, nil
+}

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func TestBlocksPartition(t *testing.T) {
+	p, err := asm.Assemble("t", `
+main:
+	ldi r1, 0
+	ldi r2, 5
+loop:
+	addi r1, r1, 1
+	add r3, r1, r2
+	blt r1, r2, loop
+	st r3, 0(zero)
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := Blocks(p)
+	// Expected blocks: [0,2) prologue, [2,5) loop body incl. branch,
+	// [5,7) epilogue incl. halt.
+	want := []Block{{0, 2}, {2, 5}, {5, 7}}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v, want %v", blocks, want)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Errorf("block %d = %v, want %v", i, blocks[i], want[i])
+		}
+	}
+	// The partition must tile the text exactly.
+	var total int64
+	for _, b := range blocks {
+		total += b.Len()
+	}
+	if total != int64(len(p.Text)) {
+		t.Errorf("blocks cover %d of %d instructions", total, len(p.Text))
+	}
+}
+
+// finalState runs a program and captures the architectural state that
+// scheduling must preserve.
+type finalState struct {
+	ints  [isa.NumIntRegs]int64
+	fps   [isa.NumFPRegs]float64
+	mem   []int64
+	insts int64
+}
+
+func runState(t *testing.T, p *program.Program, memProbe int) finalState {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var fs finalState
+	fs.insts = m.InstructionsRetired()
+	for r := isa.Reg(0); r < isa.NumIntRegs; r++ {
+		fs.ints[r] = m.IntReg(r)
+	}
+	for r := isa.Reg(0); r < isa.NumFPRegs; r++ {
+		fs.fps[r] = m.FPReg(r)
+	}
+	for a := 0; a < memProbe; a++ {
+		v, err := m.Mem(int64(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.mem = append(fs.mem, v)
+	}
+	return fs
+}
+
+func assertSameState(t *testing.T, name string, a, b finalState) {
+	t.Helper()
+	if a.insts != b.insts {
+		t.Errorf("%s: instruction counts differ: %d vs %d", name, a.insts, b.insts)
+	}
+	if a.ints != b.ints {
+		t.Errorf("%s: integer register files differ", name)
+	}
+	if a.fps != b.fps {
+		t.Errorf("%s: FP register files differ", name)
+	}
+	for i := range a.mem {
+		if a.mem[i] != b.mem[i] {
+			t.Errorf("%s: memory word %d differs: %d vs %d", name, i, a.mem[i], b.mem[i])
+			return
+		}
+	}
+}
+
+// TestScheduleSemanticEquivalenceOnWorkloads is the scheduler's core
+// guarantee: every benchmark, scheduled with and without directive
+// awareness, must reach a bit-identical final architectural state.
+func TestScheduleSemanticEquivalenceOnWorkloads(t *testing.T) {
+	for _, bench := range workload.Names() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			p, err := workload.Build(bench, workload.Input{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := len(p.Data)
+			base := runState(t, p, probe)
+
+			plain, st, err := Schedule(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Blocks == 0 {
+				t.Fatal("no blocks scheduled")
+			}
+			assertSameState(t, "plain", base, runState(t, plain, probe))
+
+			// Directive-aware on an annotated program: tag everything
+			// stride to maximize edge-latency differences.
+			tagged := p.Clone()
+			for i := range tagged.Text {
+				if _, ok := tagged.Text[i].WritesReg(); ok {
+					tagged.Text[i].Dir = isa.DirStride
+				}
+			}
+			aware, _, err := Schedule(tagged, Options{UseDirectives: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameState(t, "directive-aware", base, runState(t, aware, probe))
+		})
+	}
+}
+
+func TestScheduleActuallyReorders(t *testing.T) {
+	// A short dead-end computation sits ahead of a long chain: height
+	// priority must hoist the chain's next step above the dead end.
+	p, err := asm.Assemble("t", `
+main:
+	ldi r1, 1
+	add r9, r1, r1   ; height 1 (dead end), originally before the chain
+	add r3, r1, r1   ; long chain: height 3
+	add r5, r3, r3
+	add r7, r5, r5
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := Schedule(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moved == 0 {
+		t.Error("scheduler moved nothing on reorderable code")
+	}
+	// Equivalence still holds.
+	assertSameState(t, "reorder", runState(t, p, 0), runState(t, out, 0))
+}
+
+func TestSchedulePinsTerminator(t *testing.T) {
+	p, err := asm.Assemble("t", `
+main:
+	ldi r1, 1
+	ldi r2, 2
+	add r3, r1, r2
+	beq r1, r2, main
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Schedule(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Text[3].Op != isa.OpBEQ {
+		t.Errorf("terminator moved: text[3] = %v", out.Text[3].Op)
+	}
+	if out.Text[4].Op != isa.OpHALT {
+		t.Errorf("halt moved: text[4] = %v", out.Text[4].Op)
+	}
+}
+
+func TestScheduleRespectsMemoryOrder(t *testing.T) {
+	// A store and a subsequent load of the same address must not swap.
+	p, err := asm.Assemble("t", `
+main:
+	ldi r1, 7
+	st r1, 100(zero)
+	ld r2, 100(zero)
+	ldi r3, 1
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Schedule(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stIdx, ldIdx := -1, -1
+	for i, ins := range out.Text {
+		switch ins.Op {
+		case isa.OpST:
+			stIdx = i
+		case isa.OpLD:
+			ldIdx = i
+		}
+	}
+	if stIdx > ldIdx {
+		t.Errorf("store (%d) scheduled after load (%d)", stIdx, ldIdx)
+	}
+	assertSameState(t, "mem-order", runState(t, p, 101), runState(t, out, 101))
+}
+
+func TestScheduleRespectsAntiDependence(t *testing.T) {
+	// r1 is read then rewritten: the rewrite must not be hoisted above
+	// the read (no renaming in this machine).
+	p, err := asm.Assemble("t", `
+main:
+	ldi r1, 5
+	add r2, r1, r1    ; reads r1=5
+	ldi r1, 9         ; WAR on r1
+	add r3, r1, r1    ; reads r1=9
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Schedule(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, "war", runState(t, p, 0), runState(t, out, 0))
+}
+
+func TestScheduleRejectsInvalidProgram(t *testing.T) {
+	p := &program.Program{Name: "bad"}
+	if _, _, err := Schedule(p, Options{}); err == nil {
+		t.Error("empty program accepted")
+	}
+}

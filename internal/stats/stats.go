@@ -1,0 +1,128 @@
+// Package stats provides the small reporting substrate shared by the
+// experiment drivers and command-line tools: fixed-width text tables and
+// decile-histogram rendering, so every regenerated paper table and figure
+// prints in a uniform, diffable format.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatPct(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render formats the table as text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Left-align the first column (names), right-align numbers.
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// FormatPct renders a percentage with one decimal.
+func FormatPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// FormatRatio renders a unitless ratio with two decimals.
+func FormatRatio(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// RenderHistogram renders one decile histogram as a labelled bar chart:
+// one row per bin with a textual bar proportional to the percentage.
+func RenderHistogram(title string, labels []string, pcts []float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, p := range pcts {
+		bar := strings.Repeat("#", int(p/2+0.5))
+		fmt.Fprintf(&b, "  %-*s %6.1f%% %s\n", width, labels[i], p, bar)
+	}
+	return b.String()
+}
+
+// Pct is the ubiquitous percentage helper, safe against zero denominators.
+func Pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Mean averages a slice; zero for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

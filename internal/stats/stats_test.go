@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("My Title", "name", "value", "pct")
+	tb.AddRow("alpha", 12, 33.333)
+	tb.AddRow("a-much-longer-name", 7, 1.0)
+	out := tb.Render()
+	if !strings.Contains(out, "My Title") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "33.3%") {
+		t.Error("float not rendered as percentage")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: the header and each row end at the same width for
+	// the last (right-aligned) column.
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x", "y")
+	if strings.HasPrefix(tb.Render(), "\n") {
+		t.Error("untitled table starts with a blank line")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatPct(12.34) != "12.3%" {
+		t.Errorf("FormatPct = %q", FormatPct(12.34))
+	}
+	if FormatRatio(2.5) != "2.50" {
+		t.Errorf("FormatRatio = %q", FormatRatio(2.5))
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	out := RenderHistogram("title", []string{"[0,10]", "(10,20]"}, []float64{100, 0})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "100.0%") {
+		t.Errorf("histogram:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("#", 50)) {
+		t.Error("full bin should render a 50-char bar")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 4) != 25 {
+		t.Error("Pct(1,4)")
+	}
+	if Pct(5, 0) != 0 {
+		t.Error("Pct divide by zero")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean([1 2 3])")
+	}
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary trace file format: an 8-byte magic followed by fixed-size records.
+// Traces let the command-line tools decouple execution from analysis, the
+// way SHADE trace files decoupled tracing from the paper's analyzers.
+
+var fileMagic = [8]byte{'V', 'P', 'T', 'R', 'C', '0', '1', '\n'}
+
+// recordSize is the on-disk size of one encoded record.
+//
+//	addr int64, seq int64, value int64, memAddr int64,
+//	op uint8, dir uint8, flags uint8, dest uint8,
+//	phase uint16, reads [2]uint8 (bit7 valid, bit6 fp, bits0-5 reg)
+const recordSize = 8 + 8 + 8 + 8 + 4 + 2 + 2
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter writes the trace header and returns a streaming writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Consume implements Consumer by appending the record to the file.
+func (tw *Writer) Consume(r *Record) {
+	if tw.err != nil {
+		return
+	}
+	var buf [recordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.Addr))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Seq))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(r.Value))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(r.MemAddr))
+	buf[32] = uint8(r.Op)
+	buf[33] = uint8(r.Dir)
+	var flags uint8
+	if r.HasDest {
+		flags |= 1
+	}
+	if r.DestFP {
+		flags |= 2
+	}
+	if r.Taken {
+		flags |= 4
+	}
+	if r.HasMem {
+		flags |= 8
+	}
+	buf[34] = flags
+	buf[35] = uint8(r.Dest)
+	binary.LittleEndian.PutUint16(buf[36:], uint16(r.Phase))
+	for i, rd := range r.Reads {
+		var b uint8
+		if rd.Valid {
+			b = 0x80 | uint8(rd.Reg)&0x3f
+			if rd.FP {
+				b |= 0x40
+			}
+		}
+		buf[38+i] = b
+	}
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		tw.err = err
+		return
+	}
+	tw.n++
+}
+
+// Close flushes buffered records. It returns the first error encountered
+// while writing, if any.
+func (tw *Writer) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() int64 { return tw.n }
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the trace header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if got != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", got)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next reads the next record. It returns io.EOF at a clean end of trace and
+// io.ErrUnexpectedEOF for a truncated record.
+func (tr *Reader) Next(r *Record) error {
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: truncated record: %w", err)
+	}
+	r.Addr = int64(binary.LittleEndian.Uint64(buf[0:]))
+	r.Seq = int64(binary.LittleEndian.Uint64(buf[8:]))
+	r.Value = int64(binary.LittleEndian.Uint64(buf[16:]))
+	r.MemAddr = int64(binary.LittleEndian.Uint64(buf[24:]))
+	r.Op = isa.Opcode(buf[32])
+	r.Dir = isa.Directive(buf[33])
+	if !r.Op.Valid() {
+		return fmt.Errorf("trace: invalid opcode %d in record %d", buf[32], r.Seq)
+	}
+	if !r.Dir.Valid() {
+		return fmt.Errorf("trace: invalid directive %d in record %d", buf[33], r.Seq)
+	}
+	flags := buf[34]
+	r.HasDest = flags&1 != 0
+	r.DestFP = flags&2 != 0
+	r.Taken = flags&4 != 0
+	r.HasMem = flags&8 != 0
+	r.Dest = isa.Reg(buf[35])
+	r.Phase = int(binary.LittleEndian.Uint16(buf[36:]))
+	for i := range r.Reads {
+		b := buf[38+i]
+		r.Reads[i] = RegRead{
+			Valid: b&0x80 != 0,
+			FP:    b&0x40 != 0,
+			Reg:   isa.Reg(b & 0x3f),
+		}
+	}
+	return nil
+}
+
+// ReadAll drains the reader into a slice; intended for tests and small
+// traces.
+func (tr *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		var r Record
+		err := tr.Next(&r)
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,435 @@
+// Package vm implements the functional simulator that executes program
+// images and emits the dynamic instruction trace. Together with package
+// trace it substitutes for the paper's SHADE environment: it interprets every
+// instruction, tracks architectural state, and hands each retired
+// instruction to registered trace consumers.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	// MemWords is the total data-memory size in words. It must cover the
+	// program's initialized data; the remainder is zeroed heap/stack.
+	// Zero selects the initialized data size plus DefaultExtraMem.
+	MemWords int
+	// MaxInstructions bounds execution; Run fails with ErrBudget if the
+	// program has not halted after this many instructions. Zero selects
+	// DefaultMaxInstructions.
+	MaxInstructions int64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultExtraMem        = 1 << 20
+	DefaultMaxInstructions = 200_000_000
+)
+
+// Execution errors.
+var (
+	// ErrBudget reports that the instruction budget was exhausted before
+	// the program halted.
+	ErrBudget = errors.New("vm: instruction budget exhausted")
+	// ErrMemFault reports an out-of-range memory access.
+	ErrMemFault = errors.New("vm: memory fault")
+	// ErrDivZero reports an integer division by zero.
+	ErrDivZero = errors.New("vm: integer division by zero")
+	// ErrPCFault reports a control transfer outside the text segment.
+	ErrPCFault = errors.New("vm: PC outside text segment")
+)
+
+// Machine is one execution of a program image.
+type Machine struct {
+	prog *program.Program
+	cfg  Config
+
+	regs  [isa.NumIntRegs]isa.Word
+	fregs [isa.NumFPRegs]float64
+	mem   []isa.Word
+	pc    int64
+	phase int
+	seq   int64
+
+	halted    bool
+	consumers trace.Tee
+	// rec is the reusable trace record handed to consumers; consumers
+	// must copy what they keep (the Consumer contract), which lets the
+	// simulator run allocation-free per instruction.
+	rec trace.Record
+}
+
+// New creates a machine ready to run p. The program's initialized data is
+// copied into memory, so the image can be reused across runs.
+func New(p *program.Program, cfg Config) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	memWords := cfg.MemWords
+	if memWords == 0 {
+		memWords = len(p.Data) + DefaultExtraMem
+	}
+	if memWords < len(p.Data) {
+		return nil, fmt.Errorf("vm: MemWords %d smaller than initialized data %d", memWords, len(p.Data))
+	}
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = DefaultMaxInstructions
+	}
+	m := &Machine{
+		prog: p,
+		cfg:  cfg,
+		mem:  make([]isa.Word, memWords),
+		pc:   p.Entry,
+	}
+	copy(m.mem, p.Data)
+	// Conventional stack pointer: top of memory.
+	m.regs[isa.RegSP] = int64(memWords)
+	return m, nil
+}
+
+// Attach registers a trace consumer; every subsequently retired instruction
+// is forwarded to it.
+func (m *Machine) Attach(c trace.Consumer) { m.consumers = append(m.consumers, c) }
+
+// Halted reports whether the program has executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// InstructionsRetired returns the dynamic instruction count so far.
+func (m *Machine) InstructionsRetired() int64 { return m.seq }
+
+// IntReg returns the current value of integer register r.
+func (m *Machine) IntReg(r isa.Reg) isa.Word { return m.regs[r] }
+
+// FPReg returns the current value of floating-point register r.
+func (m *Machine) FPReg(r isa.Reg) float64 { return m.fregs[r] }
+
+// Mem returns the current value of data-memory word a.
+func (m *Machine) Mem(a int64) (isa.Word, error) {
+	if a < 0 || a >= int64(len(m.mem)) {
+		return 0, fmt.Errorf("%w: read of %d (mem size %d)", ErrMemFault, a, len(m.mem))
+	}
+	return m.mem[a], nil
+}
+
+// Run executes until HALT or the instruction budget is exhausted.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if m.seq >= m.cfg.MaxInstructions {
+			return fmt.Errorf("%w (%d instructions, pc=%d)", ErrBudget, m.seq, m.pc)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction and notifies trace consumers.
+func (m *Machine) Step() error {
+	if m.halted {
+		return errors.New("vm: step after halt")
+	}
+	if m.pc < 0 || m.pc >= int64(len(m.prog.Text)) {
+		return fmt.Errorf("%w: pc=%d text=[0,%d)", ErrPCFault, m.pc, len(m.prog.Text))
+	}
+	ins := m.prog.Text[m.pc]
+	m.rec = trace.Record{
+		Addr:  m.pc,
+		Op:    ins.Op,
+		Dir:   ins.Dir,
+		Phase: m.phase,
+		Seq:   m.seq,
+	}
+	rec := &m.rec
+	nextPC := m.pc + 1
+
+	// The common operand fetch; per-opcode semantics below.
+	rs1 := m.regs[ins.Rs1]
+	rs2 := m.regs[ins.Rs2]
+	fs1 := m.fregs[ins.Rs1]
+	fs2 := m.fregs[ins.Rs2]
+
+	setInt := func(v isa.Word) {
+		if ins.Rd != isa.RegZero {
+			m.regs[ins.Rd] = v
+			rec.HasDest = true
+			rec.Dest = ins.Rd
+			rec.Value = v
+		}
+	}
+	setFP := func(v float64) {
+		m.fregs[ins.Rd] = v
+		rec.HasDest = true
+		rec.DestFP = true
+		rec.Dest = ins.Rd
+		rec.Value = int64(math.Float64bits(v))
+	}
+	readInt := func(i int, r isa.Reg) { rec.Reads[i] = trace.RegRead{Valid: true, Reg: r} }
+	readFP := func(i int, r isa.Reg) { rec.Reads[i] = trace.RegRead{Valid: true, FP: true, Reg: r} }
+
+	switch ins.Op {
+	case isa.OpADD:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 + rs2)
+	case isa.OpSUB:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 - rs2)
+	case isa.OpMUL:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 * rs2)
+	case isa.OpDIV:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		if rs2 == 0 {
+			return fmt.Errorf("%w at pc=%d", ErrDivZero, m.pc)
+		}
+		setInt(rs1 / rs2)
+	case isa.OpREM:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		if rs2 == 0 {
+			return fmt.Errorf("%w at pc=%d", ErrDivZero, m.pc)
+		}
+		setInt(rs1 % rs2)
+	case isa.OpAND:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 & rs2)
+	case isa.OpOR:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 | rs2)
+	case isa.OpXOR:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 ^ rs2)
+	case isa.OpSLL:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 << (uint64(rs2) & 63))
+	case isa.OpSRL:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(int64(uint64(rs1) >> (uint64(rs2) & 63)))
+	case isa.OpSRA:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(rs1 >> (uint64(rs2) & 63))
+	case isa.OpSLT:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		setInt(boolWord(rs1 < rs2))
+
+	case isa.OpADDI:
+		readInt(0, ins.Rs1)
+		setInt(rs1 + ins.Imm)
+	case isa.OpMULI:
+		readInt(0, ins.Rs1)
+		setInt(rs1 * ins.Imm)
+	case isa.OpANDI:
+		readInt(0, ins.Rs1)
+		setInt(rs1 & ins.Imm)
+	case isa.OpORI:
+		readInt(0, ins.Rs1)
+		setInt(rs1 | ins.Imm)
+	case isa.OpXORI:
+		readInt(0, ins.Rs1)
+		setInt(rs1 ^ ins.Imm)
+	case isa.OpSLLI:
+		readInt(0, ins.Rs1)
+		setInt(rs1 << (uint64(ins.Imm) & 63))
+	case isa.OpSRLI:
+		readInt(0, ins.Rs1)
+		setInt(int64(uint64(rs1) >> (uint64(ins.Imm) & 63)))
+	case isa.OpSRAI:
+		readInt(0, ins.Rs1)
+		setInt(rs1 >> (uint64(ins.Imm) & 63))
+	case isa.OpSLTI:
+		readInt(0, ins.Rs1)
+		setInt(boolWord(rs1 < ins.Imm))
+
+	case isa.OpLDI:
+		setInt(ins.Imm)
+
+	case isa.OpLD:
+		readInt(0, ins.Rs1)
+		v, err := m.load(rs1 + ins.Imm)
+		if err != nil {
+			return err
+		}
+		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
+		setInt(v)
+	case isa.OpST:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		if err := m.store(rs1+ins.Imm, rs2); err != nil {
+			return err
+		}
+		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
+		// Stores carry the stored value in the record (HasDest stays
+		// false): the store-value-prediction extension profiles it.
+		rec.Value = rs2
+	case isa.OpFLD:
+		readInt(0, ins.Rs1)
+		v, err := m.load(rs1 + ins.Imm)
+		if err != nil {
+			return err
+		}
+		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
+		setFP(math.Float64frombits(uint64(v)))
+	case isa.OpFST:
+		readInt(0, ins.Rs1)
+		readFP(1, ins.Rs2)
+		if err := m.store(rs1+ins.Imm, int64(math.Float64bits(fs2))); err != nil {
+			return err
+		}
+		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
+		rec.Value = int64(math.Float64bits(fs2))
+
+	case isa.OpBEQ:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		if rs1 == rs2 {
+			nextPC = ins.Imm
+			rec.Taken = true
+		}
+	case isa.OpBNE:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		if rs1 != rs2 {
+			nextPC = ins.Imm
+			rec.Taken = true
+		}
+	case isa.OpBLT:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		if rs1 < rs2 {
+			nextPC = ins.Imm
+			rec.Taken = true
+		}
+	case isa.OpBGE:
+		readInt(0, ins.Rs1)
+		readInt(1, ins.Rs2)
+		if rs1 >= rs2 {
+			nextPC = ins.Imm
+			rec.Taken = true
+		}
+	case isa.OpJMP:
+		nextPC = ins.Imm
+		rec.Taken = true
+	case isa.OpJAL:
+		setInt(m.pc + 1)
+		nextPC = ins.Imm
+		rec.Taken = true
+	case isa.OpJALR:
+		readInt(0, ins.Rs1)
+		setInt(m.pc + 1)
+		nextPC = rs1
+		rec.Taken = true
+
+	case isa.OpFADD:
+		readFP(0, ins.Rs1)
+		readFP(1, ins.Rs2)
+		setFP(fs1 + fs2)
+	case isa.OpFSUB:
+		readFP(0, ins.Rs1)
+		readFP(1, ins.Rs2)
+		setFP(fs1 - fs2)
+	case isa.OpFMUL:
+		readFP(0, ins.Rs1)
+		readFP(1, ins.Rs2)
+		setFP(fs1 * fs2)
+	case isa.OpFDIV:
+		readFP(0, ins.Rs1)
+		readFP(1, ins.Rs2)
+		setFP(fs1 / fs2)
+	case isa.OpFMOV:
+		readFP(0, ins.Rs1)
+		setFP(fs1)
+	case isa.OpFNEG:
+		readFP(0, ins.Rs1)
+		setFP(-fs1)
+	case isa.OpFABS:
+		readFP(0, ins.Rs1)
+		setFP(math.Abs(fs1))
+	case isa.OpFSQRT:
+		readFP(0, ins.Rs1)
+		setFP(math.Sqrt(math.Abs(fs1)))
+	case isa.OpITOF:
+		readInt(0, ins.Rs1)
+		setFP(float64(rs1))
+	case isa.OpFTOI:
+		readFP(0, ins.Rs1)
+		setInt(truncToInt(fs1))
+	case isa.OpFLT:
+		readFP(0, ins.Rs1)
+		readFP(1, ins.Rs2)
+		setInt(boolWord(fs1 < fs2))
+	case isa.OpFEQ:
+		readFP(0, ins.Rs1)
+		readFP(1, ins.Rs2)
+		setInt(boolWord(fs1 == fs2))
+
+	case isa.OpNOP:
+	case isa.OpHALT:
+		m.halted = true
+	case isa.OpPHASE:
+		m.phase = int(ins.Imm)
+		rec.Phase = m.phase
+
+	default:
+		return fmt.Errorf("vm: unimplemented opcode %s at pc=%d", ins.Op, m.pc)
+	}
+
+	m.pc = nextPC
+	m.seq++
+	m.consumers.Consume(rec)
+	return nil
+}
+
+func (m *Machine) load(a int64) (isa.Word, error) {
+	if a < 0 || a >= int64(len(m.mem)) {
+		return 0, fmt.Errorf("%w: load of %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
+	}
+	return m.mem[a], nil
+}
+
+func (m *Machine) store(a int64, v isa.Word) error {
+	if a < 0 || a >= int64(len(m.mem)) {
+		return fmt.Errorf("%w: store to %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
+	}
+	m.mem[a] = v
+	return nil
+}
+
+func boolWord(b bool) isa.Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// truncToInt converts a float64 to int64 with saturation, so pathological
+// values produce a defined result instead of platform-dependent behaviour.
+func truncToInt(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	default:
+		return int64(f)
+	}
+}

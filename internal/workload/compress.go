@@ -1,0 +1,90 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "compress",
+		Description: "Adaptive dictionary compression in the style of " +
+			"compress95's Lempel-Ziv coder: a rolling hash over a " +
+			"pseudo-random input stream drives dictionary probes, " +
+			"insertions and code emission. The value stream is dominated " +
+			"by data-dependent hashes and dictionary contents " +
+			"(unpredictable) with a thin stride-predictable backbone of " +
+			"input/output cursors — a tiny static working set that leaves " +
+			"nothing for the profile classifier to rescue from table " +
+			"pressure (the paper's 'small working-set' cluster).",
+		Source: compressSource,
+	})
+}
+
+func compressSource(in Input) string {
+	g := newGen(in.Seed ^ 0xC0)
+	n := 24000 * in.scale() // input bytes
+	const hashBits = 12
+	const hashSize = 1 << hashBits
+
+	g.l("; compress: LZ-style adaptive coder (%s)", in)
+	g.l(".data")
+	// Input stream: bytes with some local correlation (runs), so the
+	// dictionary actually hits sometimes, like real text.
+	g.label("input")
+	cur := g.rng.intn(256)
+	for i := 0; i < n; i++ {
+		switch g.rng.intn(8) {
+		case 0, 1, 2, 3, 4: // runs: repeat the byte (compressible input)
+		case 5, 6: // local drift
+			cur = (cur + g.rng.intn(7) - 3 + 256) % 256
+		default: // fresh byte
+			cur = g.rng.intn(256)
+		}
+		g.l("\t.word %d", cur)
+	}
+	g.space("htab", hashSize)  // dictionary: hash → code
+	g.space("codes", hashSize) // dictionary: hash → last symbol
+	g.space("output", n)
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tldi r1, 0")     // input cursor
+	g.l("\tldi r2, %d", n) // input length
+	g.l("\tldi r3, 0")     // rolling hash
+	g.l("\tldi r4, 256")   // next free code
+	g.l("\tldi r5, 0")     // output cursor
+	g.l("\tldi r6, 0")     // hit statistic
+
+	g.label("loop")
+	g.l("\tld r7, input(r1)") // next symbol: unpredictable
+	// Rolling hash: h = ((h<<4) ^ sym) & mask — data-dependent.
+	g.l("\tslli r8, r3, 4")
+	g.l("\txor r8, r8, r7")
+	g.l("\tandi r3, r8, %d", hashSize-1)
+	// Dictionary probe.
+	g.l("\tld r9, htab(r3)")   // dictionary code: unpredictable
+	g.l("\tld r10, codes(r3)") // stored symbol: unpredictable
+	g.l("\tbeq r10, r7, hit")
+	// Miss: install new code, emit literal.
+	g.l("\tst r7, codes(r3)")
+	g.l("\tst r4, htab(r3)")
+	g.l("\taddi r4, r4, 1") // next code: stride-predictable
+	g.l("\tst r7, output(r5)")
+	g.l("\taddi r5, r5, 1") // output cursor: stride-predictable
+	g.l("\tjmp next")
+	g.label("hit")
+	// Hit: emit dictionary code, bump statistic.
+	g.l("\tst r9, output(r5)")
+	g.l("\taddi r5, r5, 1")
+	g.l("\taddi r6, r6, 1") // hit counter: stride per dynamic path
+	g.label("next")
+	g.l("\taddi r1, r1, 1") // input cursor: stride-predictable
+	g.l("\tblt r1, r2, loop")
+	// Checksum pass over the output, so the compression result is used.
+	g.l("\tldi r1, 0")
+	g.l("\tldi r11, 0")
+	g.label("ck")
+	g.l("\tld r12, output(r1)")
+	g.l("\tadd r11, r11, r12") // accumulator: data-dependent
+	g.l("\taddi r1, r1, 1")
+	g.l("\tblt r1, r5, ck")
+	g.l("\tst r11, output(zero)")
+	g.l("\thalt")
+	return g.String()
+}

@@ -1,0 +1,156 @@
+package workload
+
+import "fmt"
+
+// The secondary floating-point benchmarks. Table 2.1 and figure 2.2 of the
+// paper report the whole Spec-fp95 suite; the Section 4/5 experiments use
+// only mgrid. These four smaller kernels fill out the FP rows with distinct
+// value-predictability mixes.
+
+func init() {
+	register(Spec{
+		Name: "tomcatv", FP: true, Secondary: true,
+		Description: "Mesh-generation kernel in the style of 101.tomcatv: " +
+			"coupled x/y coordinate arrays relaxed with neighbor " +
+			"averages; most FP values drift every sweep (unpredictable), " +
+			"relaxation constants reload unchanged (last-value).",
+		Source: func(in Input) string { return fpKernel(in, "tomcatv", 0x7C) },
+	})
+	register(Spec{
+		Name: "swim", FP: true, Secondary: true,
+		Description: "Shallow-water stencil in the style of 102.swim: " +
+			"three field arrays updated by finite differences with " +
+			"stride-predictable index streams.",
+		Source: func(in Input) string { return fpKernel(in, "swim", 0x51) },
+	})
+	register(Spec{
+		Name: "su2cor", FP: true, Secondary: true,
+		Description: "Lattice gather kernel in the style of 103.su2cor: " +
+			"random-site gathers make even the load addresses " +
+			"data-dependent, the least predictable FP workload.",
+		Source: func(in Input) string { return fpKernel(in, "su2cor", 0x52) },
+	})
+	register(Spec{
+		Name: "hydro2d", FP: true, Secondary: true,
+		Description: "Hydrodynamics flux kernel in the style of " +
+			"104.hydro2d: division-heavy flux updates over a cell array.",
+		Source: func(in Input) string { return fpKernel(in, "hydro2d", 0x2D) },
+	})
+}
+
+// fpKernel builds a two-phase FP benchmark: phase 0 initializes the arrays
+// from an integer recurrence (standing in for reading the input deck), phase
+// 1 runs the kernel-specific sweeps.
+func fpKernel(in Input, kind string, salt uint64) string {
+	g := newGen(in.Seed ^ salt)
+	const n = 1500
+	sweeps := 10 * in.scale()
+
+	g.l("; %s: two-phase FP kernel (%s)", kind, in)
+	g.l(".data")
+	g.space("a", n+2)
+	g.space("b", n+2)
+	g.space("c", n+2)
+	g.label("coef")
+	g.l("\t.float %g, %g, 0.5, 2.0", 0.3+0.4*g.rng.float(), 0.1+0.2*g.rng.float())
+	g.l("acc:")
+	g.l("\t.space 1")
+	g.l("nparam:")
+	g.l("\t.word %d", n)
+	if kind == "su2cor" {
+		g.label("sites")
+		for i := 0; i < n; i++ {
+			g.l("\t.word %d", 1+g.rng.intn(n))
+		}
+	}
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tphase 0")
+	g.l("\tldi r1, 1")
+	g.l("\tldi r2, %d", n)
+	g.l("\tldi r3, %d", g.rng.intn(1<<30)|1)
+	g.l("\tldi r5, %d", 1<<30)
+	g.l("\titof f9, r5")
+	g.label("init")
+	// Spill reloads + invariant recomputation: the predictable work a
+	// 1997-era compiler emits in every loop body.
+	g.l("\tld r8, nparam(zero)")
+	g.l("\tfld f14, coef+3(zero)")
+	g.l("\tfmul f15, f14, f14")
+	g.l("\tmuli r4, r3, 1103515245")
+	g.l("\taddi r3, r4, 12345")
+	g.l("\tandi r3, r3, %d", 1<<30-1)
+	g.l("\titof f1, r3")
+	g.l("\tfdiv f2, f1, f9")
+	g.l("\tfst f2, a(r1)")
+	g.l("\tfmul f3, f2, f2")
+	g.l("\tfst f3, b(r1)")
+	g.l("\taddi r1, r1, 1")
+	g.l("\tbge r2, r1, init")
+
+	g.l("\tphase 1")
+	g.l("\tldi r9, 0")
+	g.l("\tldi r10, %d", sweeps)
+	g.label("sweep")
+	g.l("\tldi r1, 1")
+	g.l("\tfld f13, acc(zero)")
+	g.label("body")
+	g.l("\tfld f10, coef(zero)") // spill reloads: last-value 100%
+	g.l("\tfld f11, coef+1(zero)")
+	g.l("\tfld f12, coef+2(zero)")
+	g.l("\tfmul f14, f10, f11")  // invariant product: last-value 100%
+	g.l("\tfadd f15, f12, f14")  // invariant sum: last-value 100%
+	g.l("\tld r8, nparam(zero)") // bound reload (spill): last-value 100%
+	switch kind {
+	case "tomcatv":
+		// Coupled relaxation of a and b.
+		g.l("\tfld f1, a-1(r1)")
+		g.l("\tfld f2, a+1(r1)")
+		g.l("\tfld f3, b(r1)")
+		g.l("\tfadd f4, f1, f2")
+		g.l("\tfmul f5, f4, f12") // neighbor average
+		g.l("\tfmul f6, f3, f10")
+		g.l("\tfadd f7, f5, f6")
+		g.l("\tfst f7, a(r1)")
+		g.l("\tfmul f8, f7, f11")
+		g.l("\tfst f8, b(r1)")
+	case "swim":
+		// Wave step across three fields.
+		g.l("\tfld f1, a(r1)")
+		g.l("\tfld f2, b-1(r1)")
+		g.l("\tfld f3, b+1(r1)")
+		g.l("\tfsub f4, f3, f2")
+		g.l("\tfmul f5, f4, f10")
+		g.l("\tfadd f6, f1, f5")
+		g.l("\tfst f6, c(r1)")
+		g.l("\tfmul f7, f6, f11")
+		g.l("\tfst f7, a(r1)")
+	case "su2cor":
+		// Gather from a random site, then local update.
+		g.l("\tld r4, sites-1(r1)") // site index: unpredictable value
+		g.l("\tfld f1, a(r4)")      // gathered value: unpredictable
+		g.l("\tfld f2, b(r1)")
+		g.l("\tfmul f3, f1, f2")
+		g.l("\tfadd f13, f13, f3") // serial accumulation
+		g.l("\tfst f3, c(r1)")
+	case "hydro2d":
+		// Flux with division.
+		g.l("\tfld f1, a(r1)")
+		g.l("\tfld f2, b(r1)")
+		g.l("\tfadd f3, f2, f12") // denominator bounded away from 0
+		g.l("\tfdiv f4, f1, f3")
+		g.l("\tfmul f5, f4, f10")
+		g.l("\tfst f5, c(r1)")
+		g.l("\tfadd f13, f13, f5")
+	default:
+		panic(fmt.Sprintf("workload: unknown fp kernel %q", kind))
+	}
+	g.l("\taddi r1, r1, 1") // index: stride
+	g.l("\tbge r2, r1, body")
+	g.l("\tfst f13, acc(zero)")
+	g.l("\taddi r9, r9, 1")
+	g.l("\tblt r9, r10, sweep")
+	g.l("\thalt")
+	return g.String()
+}

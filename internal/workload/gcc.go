@@ -1,0 +1,109 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "gcc",
+		Description: "Compiler middle-end in the style of 126.gcc: a " +
+			"dispatch loop walks a stream of IR nodes and jumps through a " +
+			"table of per-opcode handler blocks (constant folding, " +
+			"strength reduction, flag analysis…). With well over a " +
+			"hundred distinct handlers, the static working set of " +
+			"value-producing instructions far exceeds a 512-entry " +
+			"prediction table, so under hardware-only classification the " +
+			"unpredictable majority keeps evicting the predictable " +
+			"minority — the table-pollution scenario the paper's " +
+			"profile-guided allocation wins (Section 5.2).",
+		Source: gccSource,
+	})
+}
+
+func gccSource(in Input) string {
+	g := newGen(in.Seed ^ 0xCC)
+	const handlers = 120
+	irLen := 20000 * in.scale()
+
+	g.l("; gcc: IR walker with per-opcode handlers (%s)", in)
+	g.l(".data")
+	// IR stream: (opcode, operand) pairs. Opcodes are Zipf-flavored so
+	// some handlers are hot and others cold, like real opcode mixes.
+	g.label("ir")
+	for i := 0; i < irLen; i++ {
+		var op int64
+		if g.rng.intn(3) > 0 {
+			op = g.rng.intn(12) // hot dozen
+		} else {
+			op = g.rng.intn(handlers)
+		}
+		g.l("\t.word %d", op)
+	}
+	g.label("iroperand")
+	for i := 0; i < irLen; i++ {
+		g.l("\t.word %d", g.rng.intn(1<<30))
+	}
+	g.label("dispatch")
+	for k := 0; k < handlers; k++ {
+		g.l("\t.word h%d", k)
+	}
+	g.space("folded", irLen)
+	g.space("handlerstats", handlers)
+	g.l("totals:")
+	g.l("\t.space 4")
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tldi r1, 0") // IR cursor
+	g.l("\tldi r2, %d", irLen)
+	g.l("\tldi r3, 0") // folded-node count
+	g.l("\tldi r4, 0") // checksum accumulator
+	g.label("walk")
+	g.l("\tld r5, ir(r1)")        // opcode: data-dependent
+	g.l("\tld r6, iroperand(r1)") // operand: unpredictable
+	g.l("\tld r7, dispatch(r5)")  // handler address: data-dependent
+	g.l("\tjalr ra, r7")
+	g.l("\taddi r1, r1, 1") // cursor: stride
+	g.l("\tblt r1, r2, walk")
+	g.l("\tst r3, totals(zero)")
+	g.l("\tst r4, totals+1(zero)")
+	g.l("\thalt")
+
+	// Handler blocks. Each has: immediate constants (always the same
+	// value → perfectly predictable after warm-up), a private invocation
+	// counter (stride-1), and operand field extraction/arithmetic
+	// (unpredictable). The exact shape varies per handler so the static
+	// footprint is genuinely diverse.
+	for k := 0; k < handlers; k++ {
+		mask := (int64(1) << (4 + g.rng.intn(16))) - 1
+		shift := g.rng.intn(24)
+		bias := g.rng.intn(4096)
+		g.label("h%d", k)
+		// Constant pool load: last-value predictable.
+		g.l("\tldi r10, %d", bias)
+		// Field extraction from the operand: unpredictable.
+		g.l("\tsrli r11, r6, %d", shift)
+		g.l("\tandi r11, r11, %d", mask)
+		switch k % 5 {
+		case 0: // constant folding
+			g.l("\tadd r12, r11, r10")
+			g.l("\tst r12, folded(r1)")
+			g.l("\taddi r3, r3, 1")
+		case 1: // strength reduction: multiply becomes shift
+			g.l("\tslli r12, r11, 1")
+			g.l("\tadd r4, r4, r12")
+		case 2: // range check
+			g.l("\tslt r12, r11, r10")
+			g.l("\tadd r3, r3, r12")
+		case 3: // flag analysis: xor-mix into checksum
+			g.l("\txor r12, r11, r10")
+			g.l("\tadd r4, r4, r12")
+		case 4: // dead-code marker: write sentinel
+			g.l("\tor r12, r11, r10")
+			g.l("\tst r12, folded(r1)")
+		}
+		// Per-handler statistics: stride-predictable.
+		g.l("\tld r13, handlerstats+%d(zero)", k)
+		g.l("\taddi r13, r13, 1")
+		g.l("\tst r13, handlerstats+%d(zero)", k)
+		g.l("\tjalr zero, ra")
+	}
+	return g.String()
+}

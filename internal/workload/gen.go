@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// gen accumulates assembly text. Workload sources are generated rather than
+// fixed so that (a) input data differs per seed and (b) benchmarks with
+// large static working sets (gcc, go, vortex, perl) can emit hundreds of
+// distinct code blocks, reproducing the instruction-footprint pressure that
+// drives the paper's finite-table results.
+type gen struct {
+	b   strings.Builder
+	rng rng
+}
+
+func newGen(seed uint64) *gen {
+	return &gen{rng: rng{state: seed | 1}}
+}
+
+// l emits one line of assembly.
+func (g *gen) l(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+// label emits a label definition.
+func (g *gen) label(name string, args ...any) {
+	fmt.Fprintf(&g.b, name+":\n", args...)
+}
+
+func (g *gen) String() string { return g.b.String() }
+
+// words emits a named .data array of n pseudo-random words in [0, mod).
+func (g *gen) words(name string, n int, mod int64) {
+	g.label(name)
+	for i := 0; i < n; i++ {
+		g.l("\t.word %d", g.rng.intn(mod))
+	}
+}
+
+// space emits a named zeroed .data array.
+func (g *gen) space(name string, n int) {
+	g.label(name)
+	g.l("\t.space %d", n)
+}
+
+// floats emits a named .data array of n pseudo-random float64 values in
+// [0, scale).
+func (g *gen) floats(name string, n int, scale float64) {
+	g.label(name)
+	for i := 0; i < n; i++ {
+		g.l("\t.float %g", g.rng.float()*scale)
+	}
+}
+
+// rng is a SplitMix64 generator: deterministic, seedable, stdlib-free.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,119 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "go",
+		Description: "Game-playing position evaluator in the style of " +
+			"099.go: a scan over a Go board applies dozens of distinct " +
+			"pattern matchers, each a separate code block with its own " +
+			"loads, arithmetic and statistics. The static working set of " +
+			"value-producing instructions is large (hundreds of " +
+			"instructions), most of them data-dependent on board contents " +
+			"— the combination of table pressure and low accuracy that " +
+			"makes 099.go a showcase for profile-guided allocation " +
+			"filtering (figures 5.3/5.4).",
+		Source: goSource,
+	})
+}
+
+func goSource(in Input) string {
+	g := newGen(in.Seed ^ 0x60)
+	const boardSide = 19
+	const boardSize = boardSide*boardSide + 64 // margin for pattern offsets
+	const patterns = 56
+	sweeps := 2 * in.scale()
+
+	g.l("; go: board pattern evaluator (%s)", in)
+	g.l(".data")
+	// Board: 0 empty, 1 black, 2 white — seed-dependent position.
+	g.label("board")
+	for i := 0; i < boardSize; i++ {
+		v := int64(0)
+		switch g.rng.intn(3) {
+		case 1:
+			v = 1
+		case 2:
+			v = 2
+		}
+		g.l("\t.word %d", v)
+	}
+	g.space("influence", boardSize)
+	g.space("patstats", patterns)
+	g.l("score:")
+	g.l("\t.space 2")
+	g.l("examined:")
+	g.l("\t.space 1")
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tldi r25, 0") // sweep counter
+	g.l("\tldi r26, %d", sweeps)
+	g.label("sweep")
+	g.l("\tldi r20, 0") // board position
+	g.l("\tldi r21, 0") // sweep score accumulator
+	g.l("\tldi r23, %d", boardSide*boardSide)
+	g.label("scan")
+	for k := 0; k < patterns; k++ {
+		g.l("\tjal ra, pat%d", k)
+	}
+	// Influence map update: data-dependent store per position.
+	g.l("\tld r22, board(r20)")
+	g.l("\tadd r22, r22, r21")
+	g.l("\tst r22, influence(r20)")
+	g.l("\taddi r20, r20, 1") // position cursor: stride-predictable
+	g.l("\tblt r20, r23, scan")
+	g.l("\tst r21, score(zero)")
+	g.l("\taddi r25, r25, 1")
+	g.l("\tblt r25, r26, sweep")
+	g.l("\thalt")
+
+	// Pattern blocks: each examines a fixed constellation of cells
+	// around the current position and contributes to the score. The
+	// loads and the score updates are data-dependent (unpredictable);
+	// each block's invocation counter is stride-1 (predictable) — the
+	// bimodal mix of figure 2.2.
+	for k := 0; k < patterns; k++ {
+		off1 := g.rng.intn(40)
+		off2 := g.rng.intn(40)
+		off3 := g.rng.intn(40)
+		weight := g.rng.intn(5) + 1
+		g.label("pat%d", k)
+		g.l("\tld r10, board+%d(r20)", off1)
+		g.l("\tld r11, board+%d(r20)", off2)
+		switch k % 4 {
+		case 0: // same-color pair
+			g.l("\tbne r10, r11, pat%d_out", k)
+			g.l("\tmuli r12, r10, %d", weight)
+			g.l("\tadd r21, r21, r12")
+		case 1: // capture shape: third stone differs
+			g.l("\tld r12, board+%d(r20)", off3)
+			g.l("\tadd r13, r10, r11")
+			g.l("\tbeq r13, r12, pat%d_out", k)
+			g.l("\tslt r14, r12, r13")
+			g.l("\tadd r21, r21, r14")
+		case 2: // territory: weighted sum
+			g.l("\tmuli r12, r10, %d", weight)
+			g.l("\tmuli r13, r11, %d", weight+1)
+			g.l("\tadd r14, r12, r13")
+			g.l("\tadd r21, r21, r14")
+		case 3: // liberty-ish: xor mix and threshold
+			g.l("\txor r12, r10, r11")
+			g.l("\tslti r13, r12, 2")
+			g.l("\tadd r21, r21, r13")
+		}
+		g.label("pat%d_out", k)
+		// Per-pattern statistics: the predictable minority.
+		g.l("\tld r15, patstats+%d(zero)", k)
+		g.l("\taddi r15, r15, 1")
+		g.l("\tst r15, patstats+%d(zero)", k)
+		if k%5 < 2 {
+			// Shared evaluator bookkeeping: a stride-predictable
+			// serial chain through memory.
+			g.l("\tld r16, examined(zero)")
+			g.l("\taddi r16, r16, 1")
+			g.l("\tst r16, examined(zero)")
+		}
+		g.l("\tjalr zero, ra")
+	}
+	return g.String()
+}

@@ -1,0 +1,91 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "ijpeg",
+		Description: "Image-compression kernel in the style of 132.ijpeg: " +
+			"8×8 blocks of a pseudo-random image go through a fixed-point " +
+			"separable transform (unrolled butterfly rows), quantization " +
+			"by a constant table, and zig-zag run-length counting. The " +
+			"unrolled transform gives a compact but computation-dense " +
+			"static footprint whose accumulators are data-dependent, " +
+			"while the quantizer divisors and block cursors are perfectly " +
+			"predictable — a small working set, like the paper's " +
+			"compress/ijpeg/mgrid cluster that profiling cannot improve " +
+			"much further.",
+		Source: ijpegSource,
+	})
+}
+
+func ijpegSource(in Input) string {
+	g := newGen(in.Seed ^ 0x3E)
+	blocks := 220 * in.scale()
+	const blockSize = 64
+
+	g.l("; ijpeg: fixed-point block transform (%s)", in)
+	g.l(".data")
+	// Image: smooth-ish pseudo-random pixels (neighbor-correlated).
+	g.label("image")
+	cur := g.rng.intn(256)
+	for i := 0; i < blocks*blockSize; i++ {
+		cur = (cur + g.rng.intn(31) - 15 + 256) % 256
+		g.l("\t.word %d", cur)
+	}
+	// Quantization table: constants reloaded per block (last-value 100%).
+	g.label("quant")
+	for i := 0; i < 8; i++ {
+		g.l("\t.word %d", 8+g.rng.intn(24))
+	}
+	g.space("coeff", blockSize)
+	g.space("out", blocks*blockSize)
+	g.l("runstats:")
+	g.l("\t.space 2")
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tldi r1, 0") // block cursor (word offset)
+	g.l("\tldi r2, %d", blocks*blockSize)
+	g.l("\tldi r3, 0") // zero-coefficient run statistic
+	g.label("block")
+	// Row transform, unrolled over the 8 rows: butterfly adds/subs on
+	// pixel pairs. Data-dependent throughout.
+	for row := 0; row < 8; row++ {
+		base := row * 8
+		g.l("\tld r10, image+%d(r1)", base)
+		g.l("\tld r11, image+%d(r1)", base+7)
+		g.l("\tld r12, image+%d(r1)", base+3)
+		g.l("\tld r13, image+%d(r1)", base+4)
+		g.l("\tadd r14, r10, r11") // s07
+		g.l("\tsub r15, r10, r11") // d07
+		g.l("\tadd r16, r12, r13") // s34
+		g.l("\tsub r17, r12, r13") // d34
+		g.l("\tadd r18, r14, r16") // DC contribution
+		g.l("\tsub r19, r14, r16") // AC contribution
+		g.l("\tmuli r20, r15, 3")  // rotation (fixed-point by constants)
+		g.l("\tmuli r21, r17, 5")
+		g.l("\tadd r22, r20, r21")
+		g.l("\tst r18, coeff+%d(zero)", base)
+		g.l("\tst r19, coeff+%d(zero)", base+1)
+		g.l("\tst r22, coeff+%d(zero)", base+2)
+	}
+	// Quantize + count zero runs over the produced coefficients.
+	g.l("\tldi r4, 0") // coefficient index
+	g.l("\tldi r5, %d", blockSize)
+	g.label("quantloop")
+	g.l("\tld r10, coeff(r4)")
+	g.l("\tandi r11, r4, 7")
+	g.l("\tld r12, quant(r11)") // divisor: cycles through 8 constants
+	g.l("\tdiv r13, r10, r12")  // quantized coefficient: data-dependent
+	g.l("\tadd r14, r1, r4")
+	g.l("\tst r13, out(r14)")
+	g.l("\tbne r13, zero, qnext")
+	g.l("\taddi r3, r3, 1") // zero-run statistic
+	g.label("qnext")
+	g.l("\taddi r4, r4, 1") // stride
+	g.l("\tblt r4, r5, quantloop")
+	g.l("\taddi r1, r1, %d", blockSize) // block cursor: stride 64
+	g.l("\tblt r1, r2, block")
+	g.l("\tst r3, runstats(zero)")
+	g.l("\thalt")
+	return g.String()
+}

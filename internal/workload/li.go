@@ -1,0 +1,158 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "li",
+		Description: "List-processing kernel in the style of the 130.li " +
+			"Lisp interpreter: cons cells (car/cdr pairs) in a heap, with " +
+			"a battery of list primitives (length, sum, max, nth) walking " +
+			"both a sequentially allocated list (cdr pointers advance by " +
+			"a constant — stride-predictable, like freshly consed lists) " +
+			"and a shuffled list (pointer chasing — unpredictable). " +
+			"Interpretation overhead supplies the predictable counters; " +
+			"list contents supply the unpredictable majority.",
+		Source: liSource,
+	})
+}
+
+func liSource(in Input) string {
+	g := newGen(in.Seed ^ 0x11)
+	const cells = 600
+	ops := 35 * in.scale() // interpreter op batches
+
+	// Heap layout: cell i occupies words heap[2i] (car) and heap[2i+1]
+	// (cdr = word offset of next cell within heap, 0 terminates — cell 0
+	// is the dedicated nil cell).
+	type cell struct{ car, cdr int64 }
+	heap := make([]cell, cells)
+	// Sequential list: cells 1..seqLen in order; cdr stride is constant 2.
+	seqLen := cells/2 - 1
+	for i := 1; i <= seqLen; i++ {
+		heap[i].car = g.rng.intn(1000)
+		if i < seqLen {
+			heap[i].cdr = int64(2 * (i + 1))
+		}
+	}
+	// Shuffled list: cells 300..599 linked in random permutation order.
+	perm := make([]int, cells/2)
+	for i := range perm {
+		perm[i] = cells/2 + i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := g.rng.intn(int64(i + 1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i, ci := range perm {
+		heap[ci].car = g.rng.intn(1000)
+		if i < len(perm)-1 {
+			heap[ci].cdr = int64(2 * perm[i+1])
+		}
+	}
+
+	g.l("; li: cons-cell list primitives (%s)", in)
+	g.l(".data")
+	g.label("heap")
+	for _, c := range heap {
+		g.l("\t.word %d, %d", c.car, c.cdr)
+	}
+	g.l("results:")
+	g.l("\t.space 16")
+	g.l("evalcount:")
+	g.l("\t.space 1")
+
+	heads := map[string]int64{
+		"s": 2 * 1,              // sequential list head
+		"h": int64(2 * perm[0]), // shuffled list head
+	}
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tldi r1, 0") // op batch counter
+	g.l("\tldi r2, %d", ops)
+	g.label("repl")
+	// Each batch runs every primitive on both lists, like an interpreter
+	// evaluating a scripted test program. Primitives are instantiated
+	// per list (as a Lisp system specializes hot paths), so each static
+	// cdr-load sees one list's pointer pattern.
+	for i, sfx := range []string{"s", "h"} {
+		head := heads[sfx]
+		g.l("\tldi r20, %d", head)
+		g.l("\tjal ra, len_%s", sfx)
+		g.l("\tst r21, results+%d(zero)", i*4)
+		g.l("\tldi r20, %d", head)
+		g.l("\tjal ra, sum_%s", sfx)
+		g.l("\tst r21, results+%d(zero)", i*4+1)
+		g.l("\tldi r20, %d", head)
+		g.l("\tjal ra, max_%s", sfx)
+		g.l("\tst r21, results+%d(zero)", i*4+2)
+		g.l("\tldi r20, %d", head)
+		g.l("\tldi r22, 17")
+		g.l("\tjal ra, nth_%s", sfx)
+		g.l("\tst r21, results+%d(zero)", i*4+3)
+	}
+	// Interpreter bookkeeping: eval counter in memory, stride-predictable.
+	g.l("\tld r9, evalcount(zero)")
+	g.l("\taddi r9, r9, 8")
+	g.l("\tst r9, evalcount(zero)")
+	g.l("\taddi r1, r1, 1")
+	g.l("\tblt r1, r2, repl")
+	g.l("\thalt")
+
+	for _, sfx := range []string{"s", "h"} {
+		// len: walk the list counting cells. The cdr loads are the
+		// interesting part: stride-predictable on the sequential list,
+		// unpredictable on the shuffled one.
+		g.label("len_%s", sfx)
+		g.l("\tldi r21, 0")
+		g.label("len_%s_loop", sfx)
+		g.l("\tbeq r20, zero, len_%s_done", sfx)
+		g.l("\tld r20, heap+1(r20)") // cdr
+		g.l("\taddi r21, r21, 1")    // count: stride
+		g.l("\tjmp len_%s_loop", sfx)
+		g.label("len_%s_done", sfx)
+		g.l("\tjalr zero, ra")
+
+		// sum: fold + over cars.
+		g.label("sum_%s", sfx)
+		g.l("\tldi r21, 0")
+		g.label("sum_%s_loop", sfx)
+		g.l("\tbeq r20, zero, sum_%s_done", sfx)
+		g.l("\tld r10, heap(r20)")   // car: data-dependent
+		g.l("\tadd r21, r21, r10")   // accumulator: data-dependent
+		g.l("\tld r20, heap+1(r20)") // cdr
+		g.l("\tjmp sum_%s_loop", sfx)
+		g.label("sum_%s_done", sfx)
+		g.l("\tjalr zero, ra")
+
+		// max: fold max over cars (branchy, data-dependent).
+		g.label("max_%s", sfx)
+		g.l("\tldi r21, 0")
+		g.label("max_%s_loop", sfx)
+		g.l("\tbeq r20, zero, max_%s_done", sfx)
+		g.l("\tld r10, heap(r20)")
+		g.l("\tbge r21, r10, max_%s_skip", sfx)
+		g.l("\tadd r21, r10, zero")
+		g.label("max_%s_skip", sfx)
+		g.l("\tld r20, heap+1(r20)")
+		g.l("\tjmp max_%s_loop", sfx)
+		g.label("max_%s_done", sfx)
+		g.l("\tjalr zero, ra")
+
+		// nth: walk r22 cells and return that car.
+		g.label("nth_%s", sfx)
+		g.l("\tldi r21, 0")
+		g.l("\tldi r11, 0")
+		g.label("nth_%s_loop", sfx)
+		g.l("\tbeq r20, zero, nth_%s_done", sfx)
+		g.l("\tbge r11, r22, nth_%s_take", sfx)
+		g.l("\tld r20, heap+1(r20)")
+		g.l("\taddi r11, r11, 1")
+		g.l("\tjmp nth_%s_loop", sfx)
+		g.label("nth_%s_take", sfx)
+		g.l("\tld r21, heap(r20)")
+		g.label("nth_%s_done", sfx)
+		g.l("\tjalr zero, ra")
+	}
+
+	return g.String()
+}

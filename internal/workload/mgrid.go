@@ -1,0 +1,114 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "mgrid",
+		FP:   true,
+		Description: "Multigrid-flavored FP solver in the style of " +
+			"107.mgrid: an initialization phase (phase 0) fills the fine " +
+			"grid from a seed-dependent integer recurrence, then the " +
+			"computation phase (phase 1) runs smoothing sweeps on two " +
+			"grid levels with a restriction step between them — " +
+			"coefficient reloads are last-value-predictable, index " +
+			"arithmetic is stride-predictable, grid values are not. A " +
+			"small static working set, like the real mgrid.",
+		Source: mgridSource,
+	})
+}
+
+func mgridSource(in Input) string {
+	g := newGen(in.Seed ^ 0x36)
+	const fine = 2048
+	const coarse = fine / 2
+	sweeps := 8 * in.scale()
+
+	g.l("; mgrid: two-level FP smoothing (%s)", in)
+	g.l(".data")
+	g.space("u", fine+2)    // fine grid (+halo)
+	g.space("v", fine+2)    // smoothed fine grid
+	g.space("uc", coarse+2) // coarse grid
+	g.label("coef")
+	g.l("\t.float 0.5, 0.25, 0.125, %g", 0.05+0.1*g.rng.float())
+	g.l("resid:")
+	g.l("\t.space 1")
+	g.l("nparam:")
+	g.l("\t.word %d", fine)
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tphase 0")
+	// Initialization: integer LCG drives the grid contents, standing in
+	// for reading the input deck. LCG values are data-dependent chains.
+	g.l("\tldi r1, 1")
+	g.l("\tldi r2, %d", fine)
+	g.l("\tldi r3, %d", g.rng.intn(1<<30)|1) // LCG state, seed-dependent
+	g.label("initloop")
+	// Spilled-constant reloads and loop-invariant recomputation, as a
+	// 1997-era compiler emits: perfectly last-value-predictable work.
+	g.l("\tld r6, nparam(zero)")
+	g.l("\tfld f8, coef+2(zero)")
+	g.l("\tfmul f9, f8, f8")
+	g.l("\tmuli r4, r3, 1103515245")
+	g.l("\taddi r3, r4, 12345")
+	g.l("\tandi r3, r3, %d", 1<<30-1)
+	g.l("\titof f1, r3")
+	g.l("\tldi r5, %d", 1<<30)
+	g.l("\titof f2, r5")
+	g.l("\tfdiv f3, f1, f2") // value in [0,1): unpredictable
+	g.l("\tfst f3, u(r1)")
+	g.l("\taddi r1, r1, 1") // index: stride
+	g.l("\tbge r2, r1, initloop")
+
+	g.l("\tphase 1")
+	g.l("\tldi r9, 0") // sweep counter
+	g.l("\tldi r10, %d", sweeps)
+	g.label("sweep")
+	// Fine-grid smoothing: v[i] = c0*u[i] + c1*(u[i-1]+u[i+1]).
+	g.l("\tldi r1, 1")
+	g.label("smooth")
+	g.l("\tfld f10, coef(zero)")   // c0 reload (spill): last-value 100%
+	g.l("\tfld f11, coef+1(zero)") // c1 reload (spill): last-value 100%
+	g.l("\tfmul f14, f10, f11")    // invariant product: last-value 100%
+	g.l("\tfadd f15, f10, f14")    // invariant sum: last-value 100%
+	g.l("\tld r8, nparam(zero)")   // bound reload (spill): last-value 100%
+	g.l("\tfld f1, u(r1)")
+	g.l("\tfld f2, u-1(r1)")
+	g.l("\tfld f3, u+1(r1)")
+	g.l("\tfadd f4, f2, f3")
+	g.l("\tfmul f5, f11, f4")
+	g.l("\tfmul f6, f10, f1")
+	g.l("\tfadd f7, f5, f6") // smoothed value: data-dependent
+	g.l("\tfst f7, v(r1)")
+	g.l("\taddi r1, r1, 1") // stride
+	g.l("\tbge r2, r1, smooth")
+	// Restriction to the coarse grid: uc[j] = 0.5*(v[2j] + v[2j+1]).
+	g.l("\tldi r1, 1")
+	g.l("\tldi r6, %d", coarse)
+	g.label("restrict")
+	g.l("\tfld f12, coef+2(zero)") // reload (spill): last-value 100%
+	g.l("\tslli r7, r1, 1")        // 2j: stride 2
+	g.l("\tfld f1, v(r7)")
+	g.l("\tfld f2, v+1(r7)")
+	g.l("\tfadd f3, f1, f2")
+	g.l("\tfmul f4, f3, f12")
+	g.l("\tfst f4, uc(r1)")
+	g.l("\taddi r1, r1, 1")
+	g.l("\tbge r6, r1, restrict")
+	// Residual: accumulate |v-u| into a running FP sum and copy v→u.
+	g.l("\tldi r1, 1")
+	g.l("\tfld f13, resid(zero)")
+	g.label("resloop")
+	g.l("\tfld f1, v(r1)")
+	g.l("\tfld f2, u(r1)")
+	g.l("\tfsub f3, f1, f2")
+	g.l("\tfabs f4, f3")
+	g.l("\tfadd f13, f13, f4") // serial FP accumulation chain
+	g.l("\tfst f1, u(r1)")
+	g.l("\taddi r1, r1, 1")
+	g.l("\tbge r2, r1, resloop")
+	g.l("\tfst f13, resid(zero)")
+	g.l("\taddi r9, r9, 1") // sweep counter: stride
+	g.l("\tblt r9, r10, sweep")
+	g.l("\thalt")
+	return g.String()
+}

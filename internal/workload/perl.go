@@ -1,0 +1,128 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "perl",
+		Description: "Interpreter-driven anagram search in the style of " +
+			"134.perl's primes/anagram scripts: a bytecode loop executes " +
+			"a scripted word-processing program — hashing dictionary " +
+			"words into letter signatures, bucketing them, and comparing " +
+			"signatures within buckets — through dozens of per-opcode " +
+			"runtime-service blocks. Interpreter overhead (PC, opcode " +
+			"fetch, bookkeeping) is highly predictable, string contents " +
+			"are not; the static footprint is mid-sized, giving moderate " +
+			"table pressure where profiling already pays off (the paper " +
+			"finds gains at thresholds 70–90%).",
+		Source: perlSource,
+	})
+}
+
+func perlSource(in Input) string {
+	g := newGen(in.Seed ^ 0xBE)
+	const words = 256
+	const wordLen = 12
+	const services = 64
+	passes := 5 * in.scale()
+
+	g.l("; perl: anagram search under a bytecode interpreter (%s)", in)
+	g.l(".data")
+	// Dictionary: words of lowercase letters with a skewed distribution.
+	g.label("dict")
+	for w := 0; w < words; w++ {
+		for c := 0; c < wordLen; c++ {
+			g.l("\t.word %d", 'a'+g.rng.intn(26)*g.rng.intn(2)) // skew toward 'a'
+		}
+	}
+	g.space("sig", words)  // letter signature per word
+	g.space("buckets", 64) // signature-hash buckets (counts)
+	g.space("anagrams", 2) // result: pairs found, comparisons
+	g.label("servicetab")
+	for k := 0; k < services; k++ {
+		g.l("\t.word svc%d", k)
+	}
+	g.space("svcstats", services)
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tldi r1, 0") // pass counter
+	g.l("\tldi r2, %d", passes)
+	g.l("\tldi r26, %d", wordLen)
+	g.l("\tldi r18, 0")
+	g.l("\tldi r19, 0")
+	g.label("pass")
+
+	// Stage 1: signature each word (FNV-flavored fold over letters).
+	g.l("\tldi r3, 0") // word index
+	g.l("\tldi r4, %d", words)
+	g.label("sigword")
+	g.l("\tmuli r5, r3, %d", wordLen)
+	g.l("\tldi r6, 0") // char index
+	g.l("\tldi r7, 0") // signature accumulator
+	g.label("sigchar")
+	g.l("\tadd r8, r5, r6")
+	g.l("\tld r9, dict(r8)") // letter: data-dependent
+	g.l("\tmuli r10, r7, 31")
+	g.l("\tadd r7, r10, r9") // rolling hash: unpredictable
+	g.l("\taddi r6, r6, 1")  // char cursor: stride
+	g.l("\tblt r6, r26, sigchar")
+	g.l("\tst r7, sig(r3)")
+	// Bucket the signature and dispatch a runtime service on it, the way
+	// the interpreter calls built-ins per value class.
+	g.l("\tandi r11, r7, 63")
+	g.l("\tld r12, buckets(r11)")
+	g.l("\taddi r12, r12, 1")
+	g.l("\tst r12, buckets(r11)")
+	g.l("\tandi r13, r3, %d", services-1) // dispatch by word class (index)
+	g.l("\tld r14, servicetab(r13)")
+	g.l("\tjalr ra, r14")
+	g.l("\taddi r3, r3, 1") // word cursor: stride
+	g.l("\tblt r3, r4, sigword")
+
+	// Stage 2: anagram comparisons — each word against the following
+	// window of candidates (bucketing already narrowed the search).
+	window := 17
+	g.l("\tldi r3, 0")
+	g.label("cmpout")
+	g.l("\taddi r15, r3, 1")
+	g.l("\taddi r24, r3, %d", window)
+	g.l("\tslt r25, r24, r4")
+	g.l("\tbne r25, zero, cmpin")
+	g.l("\tadd r24, r4, zero") // clamp the window at the dictionary end
+	g.label("cmpin")
+	g.l("\tbge r15, r24, cmpdone")
+	g.l("\tld r16, sig(r3)")
+	g.l("\tld r17, sig(r15)")
+	g.l("\taddi r18, r18, 1") // comparison counter: stride
+	g.l("\tbne r16, r17, cmpnext")
+	g.l("\taddi r19, r19, 1") // anagram-pair counter
+	g.label("cmpnext")
+	g.l("\taddi r15, r15, 1")
+	g.l("\tjmp cmpin")
+	g.label("cmpdone")
+	g.l("\taddi r3, r3, 1")
+	g.l("\tblt r3, r4, cmpout")
+	g.l("\tst r18, anagrams+1(zero)")
+	g.l("\tst r19, anagrams(zero)")
+
+	g.l("\taddi r1, r1, 1")
+	g.l("\tblt r1, r2, pass")
+	g.l("\thalt")
+
+	// Runtime services: small distinct blocks (string-length class,
+	// case folding, counters…), each with predictable constants and
+	// counters plus an unpredictable mix of the signature.
+	for k := 0; k < services; k++ {
+		c1 := g.rng.intn(1 << 12)
+		sh := g.rng.intn(10)
+		g.label("svc%d", k)
+		g.l("\tldi r20, %d", c1) // constant: predictable
+		g.l("\tsrli r21, r7, %d", sh)
+		g.l("\txor r22, r21, r20") // mixed signature: unpredictable
+		g.l("\tandi r22, r22, 255")
+		g.l("\tld r23, svcstats+%d(zero)", k)
+		g.l("\taddi r23, r23, 1") // service counter: stride
+		g.l("\tst r23, svcstats+%d(zero)", k)
+		g.l("\tjalr zero, ra")
+	}
+	return g.String()
+}

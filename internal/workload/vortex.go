@@ -1,0 +1,132 @@
+package workload
+
+func init() {
+	register(Spec{
+		Name: "vortex",
+		Description: "Object-oriented database transactions in the style " +
+			"of 147.vortex: typed records are allocated from a bump " +
+			"allocator, initialized field by field through per-attribute " +
+			"method blocks, linked into indexes, and then queried. " +
+			"Allocation cursors, object identifiers, timestamps and " +
+			"per-method statistics all advance by constant strides, and " +
+			"the static footprint (many small method blocks) is large — " +
+			"the combination that makes vortex the paper's best case: " +
+			"profiling both adds correct predictions and removes " +
+			"mispredictions, and value prediction collapses the long " +
+			"allocate→initialize→index chains (table 5.2's 159–180%).",
+		Source: vortexSource,
+	})
+}
+
+func vortexSource(in Input) string {
+	g := newGen(in.Seed ^ 0x40)
+	const recSize = 8
+	const methods = 96
+	records := 5000 * in.scale()
+	const heapRecs = 2048 // heap capacity per pass (wraps)
+
+	g.l("; vortex: OO database transactions (%s)", in)
+	g.l(".data")
+	g.l("alloc:")
+	g.l("\t.word 0") // bump-allocator cursor (record slots used)
+	g.l("oid:")
+	g.l("\t.word 1000") // next object id
+	g.l("clock:")
+	g.l("\t.word 0") // transaction timestamp
+	g.words("payload", 1024, 1<<24)
+	g.space("heap", heapRecs*recSize)
+	g.space("index", 4096)
+	g.space("methodstats", methods)
+	g.l("querystats:")
+	g.l("\t.space 4")
+	g.l("abytes:")
+	g.l("\t.word 0") // bytes-allocated accounting
+	g.label("methodtab")
+	for k := 0; k < methods; k++ {
+		g.l("\t.word m%d", k)
+	}
+
+	g.l(".text")
+	g.label("main")
+	g.l("\tldi r1, 0") // transaction counter
+	g.l("\tldi r2, %d", records)
+	g.l("\tldi r27, %d", methods)
+	g.label("txn")
+	// Allocate a record: bump cursor (stride through memory), assign
+	// object id and timestamp (strides), and a payload word (random).
+	g.l("\tld r3, alloc(zero)") // slots used so far: stride 1
+	g.l("\tandi r4, r3, %d", heapRecs-1)
+	g.l("\tmuli r5, r4, %d", recSize) // record base: stride recSize (mod wrap)
+	g.l("\taddi r6, r3, 1")
+	g.l("\tst r6, alloc(zero)")
+	g.l("\tld r7, oid(zero)") // object id: stride 1
+	g.l("\taddi r8, r7, 1")
+	g.l("\tst r8, oid(zero)")
+	g.l("\tld r9, clock(zero)") // timestamp: stride 3
+	g.l("\taddi r9, r9, 3")
+	g.l("\tst r9, clock(zero)")
+	// Storage accounting: a serial chain through memory whose links all
+	// advance by constants — deeply serial yet stride-predictable, like
+	// the allocator bookkeeping of the real vortex.
+	g.l("\tld r24, abytes(zero)")
+	g.l("\taddi r24, r24, %d", recSize)
+	g.l("\taddi r24, r24, 0")
+	g.l("\tmuli r25, r24, 2")
+	g.l("\taddi r25, r25, 1")
+	g.l("\tsub r25, r25, r24")
+	g.l("\taddi r25, r25, -1")
+	g.l("\tmuli r26, r25, 3")
+	g.l("\taddi r26, r26, 2")
+	g.l("\tsub r26, r26, r25")
+	g.l("\tsub r26, r26, r25")
+	g.l("\tsub r26, r26, r25")
+	g.l("\taddi r26, r26, -2")
+	g.l("\tst r26, abytes(zero)")
+	// Initialize header fields.
+	g.l("\tst r7, heap(r5)")   // field 0: oid
+	g.l("\tst r9, heap+1(r5)") // field 1: timestamp
+	g.l("\tandi r10, r7, 1023")
+	g.l("\tld r11, payload(r10)") // payload: unpredictable
+	g.l("\tst r11, heap+2(r5)")   // field 2: payload
+	// Class dispatch: each record's class selects an attribute method
+	// (modulo keeps every method reachable).
+	g.l("\trem r12, r11, r27")
+	g.l("\tld r13, methodtab(r12)")
+	g.l("\tjalr ra, r13")
+	// Index insert: hash oid into the index.
+	g.l("\tandi r14, r7, 4095")
+	g.l("\tst r5, index(r14)")
+	// Query: look up an earlier object and compare timestamps.
+	g.l("\tsrai r15, r7, 1")
+	g.l("\tandi r15, r15, 4095")
+	g.l("\tld r16, index(r15)")  // indexed record base: data-dependent
+	g.l("\tld r17, heap+1(r16)") // its timestamp
+	g.l("\tslt r18, r17, r9")
+	g.l("\tld r19, querystats(zero)")
+	g.l("\tadd r19, r19, r18")
+	g.l("\tst r19, querystats(zero)")
+	g.l("\taddi r1, r1, 1") // transaction counter: stride
+	g.l("\tbne r1, r2, txn")
+	g.l("\thalt")
+
+	// Attribute methods: each initializes the record's remaining fields
+	// from its own constants and sequence counters. Fields derived from
+	// per-method sequence counters are stride-predictable; the payload
+	// mix is not.
+	for k := 0; k < methods; k++ {
+		c := g.rng.intn(1 << 16)
+		g.label("m%d", k)
+		g.l("\tldi r20, %d", c) // class constant: predictable
+		g.l("\tld r21, methodstats+%d(zero)", k)
+		g.l("\taddi r21, r21, 1") // per-class sequence: stride
+		g.l("\tst r21, methodstats+%d(zero)", k)
+		g.l("\tst r20, heap+3(r5)") // field 3: class constant
+		g.l("\tst r21, heap+4(r5)") // field 4: class sequence
+		g.l("\txor r22, r11, r20")  // field 5: payload mix
+		g.l("\tst r22, heap+5(r5)")
+		g.l("\tadd r23, r7, r21") // field 6: oid+seq (stride-ish)
+		g.l("\tst r23, heap+6(r5)")
+		g.l("\tjalr zero, ra")
+	}
+	return g.String()
+}
