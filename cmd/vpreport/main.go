@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -29,8 +31,36 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		exts   = flag.Bool("extensions", false, "also run the extension experiments with -experiment all")
 		outDir = flag.String("o", "", "also write each artifact to <dir>/<id>.txt")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(fmt.Errorf("memprofile: %w", err))
+		}
+		defer func() {
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vpreport: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, r := range experiments.Registry {

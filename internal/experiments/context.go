@@ -39,6 +39,7 @@ type Context struct {
 	mergeCache map[string]*profiler.Image
 	evalCache  map[string]*profiler.Collector
 	annoCache  map[annoKey]*annotated
+	traceCache map[string]*trace.Recorder
 }
 
 type annoKey struct {
@@ -60,6 +61,7 @@ func NewContext() *Context {
 		mergeCache:     make(map[string]*profiler.Image),
 		evalCache:      make(map[string]*profiler.Collector),
 		annoCache:      make(map[annoKey]*annotated),
+		traceCache:     make(map[string]*trace.Recorder),
 	}
 }
 
@@ -111,10 +113,34 @@ func (c *Context) MergedTrainImage(bench string) (*profiler.Image, error) {
 	return merged, nil
 }
 
+// EvalTrace runs the benchmark's unannotated program under the evaluation
+// input exactly once and memoizes the recorded dynamic instruction stream.
+// Every evaluation-side experiment (the threshold sweep and each
+// prediction-engine comparison) replays this stream instead of
+// re-interpreting the program per configuration — the record-once/
+// replay-many cache that makes the multi-threshold drivers cheap.
+func (c *Context) EvalTrace(bench string) (*trace.Recorder, error) {
+	c.mu.Lock()
+	if rec, ok := c.traceCache[bench]; ok {
+		c.mu.Unlock()
+		return rec, nil
+	}
+	c.mu.Unlock()
+	rec := trace.NewRecorder()
+	if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), rec); err != nil {
+		return nil, fmt.Errorf("experiments: record %s evaluation trace: %w", bench, err)
+	}
+	c.mu.Lock()
+	c.traceCache[bench] = rec
+	c.mu.Unlock()
+	return rec, nil
+}
+
 // EvalCollector profiles the benchmark under the evaluation input — the
 // "real user input" disjoint from every training input. Table 2.1 and
 // figures 2.2/2.3 read it directly; other experiments re-run the evaluation
-// input through prediction engines.
+// input through prediction engines. The profile is built by replaying the
+// recorded evaluation trace.
 func (c *Context) EvalCollector(bench string) (*profiler.Collector, error) {
 	c.mu.Lock()
 	if col, ok := c.evalCache[bench]; ok {
@@ -122,10 +148,12 @@ func (c *Context) EvalCollector(bench string) (*profiler.Collector, error) {
 		return col, nil
 	}
 	c.mu.Unlock()
-	col := profiler.NewCollector()
-	if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), col); err != nil {
-		return nil, fmt.Errorf("experiments: evaluate %s: %w", bench, err)
+	rec, err := c.EvalTrace(bench)
+	if err != nil {
+		return nil, err
 	}
+	col := profiler.NewCollector()
+	rec.Replay(col)
 	c.mu.Lock()
 	c.evalCache[bench] = col
 	c.mu.Unlock()
@@ -163,22 +191,34 @@ func (c *Context) Annotated(bench string, threshold float64) (*program.Program, 
 	return ap, st, nil
 }
 
-// RunEvalPlain runs the benchmark's unannotated program under the evaluation
-// input, feeding the consumers.
+// RunEvalPlain feeds the consumers the benchmark's evaluation-input
+// instruction stream — a replay of the recorded trace, bit-identical to
+// re-executing the unannotated program.
 func (c *Context) RunEvalPlain(bench string, consumers ...trace.Consumer) error {
-	_, err := workload.BuildAndRun(bench, workload.EvaluationInput(), consumers...)
-	return err
+	rec, err := c.EvalTrace(bench)
+	if err != nil {
+		return err
+	}
+	rec.Replay(consumers...)
+	return nil
 }
 
-// RunEvalAnnotated runs the threshold-annotated program under the evaluation
-// input, feeding the consumers.
+// RunEvalAnnotated feeds the consumers the threshold-annotated program's
+// evaluation-input stream. Annotation changes only directive bits — no code
+// motion — so this replays the recorded plain trace with the annotated
+// text's directives patched in, bit-identical to re-executing the annotated
+// program.
 func (c *Context) RunEvalAnnotated(bench string, threshold float64, consumers ...trace.Consumer) error {
 	p, _, err := c.Annotated(bench, threshold)
 	if err != nil {
 		return err
 	}
-	_, err = workload.Run(p, consumers...)
-	return err
+	rec, err := c.EvalTrace(bench)
+	if err != nil {
+		return err
+	}
+	rec.ReplayDirs(trace.DirsOf(p.Text), consumers...)
+	return nil
 }
 
 // forEachBench runs f once per benchmark, concurrently, with i the

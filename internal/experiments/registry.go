@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Runner regenerates one paper artifact.
@@ -39,11 +40,18 @@ func IDs() []string {
 	return out
 }
 
+// allRunners returns the combined paper + extension registry, built once:
+// both registries are fixed at init time, so there is no need to
+// re-concatenate them on every lookup.
+var allRunners = sync.OnceValue(func() []Runner {
+	return append(append(make([]Runner, 0, len(Registry)+len(ExtRegistry)), Registry...), ExtRegistry...)
+})
+
 // ByID finds a runner among the paper artifacts and the extension
 // experiments, accepting either the exact ID or any ID it is embedded in
 // (so "fig5.1" resolves to the combined "fig5.1+5.2" driver).
 func ByID(id string) (Runner, error) {
-	all := append(append([]Runner{}, Registry...), ExtRegistry...)
+	all := allRunners()
 	for _, r := range all {
 		if r.ID == id {
 			return r, nil

@@ -7,32 +7,82 @@ import "repro/internal/isa"
 // isolate pure classification behaviour from table-capacity effects
 // (Section 5.1), and the profiler measures per-instruction predictability
 // with the same semantics.
+//
+// Instruction addresses are text-segment indices, so entries live in a
+// dense slice indexed by address — no map hashing on the per-instruction
+// path; addresses outside the dense range fall back to a sparse map.
+// Pointers returned by Lookup and Allocate are invalidated by subsequent
+// Allocate calls (the dense table may grow); callers must not hold an entry
+// across an allocation.
 type Infinite struct {
-	kind    Kind
-	entries map[int64]*Entry
+	kind   Kind
+	dense  []Entry
+	count  int
+	sparse map[int64]*Entry
 }
+
+// maxDenseEntry bounds the dense table so a stray huge address cannot
+// balloon memory; larger (or negative) addresses go to the sparse map.
+const maxDenseEntry = 1 << 22
 
 // NewInfinite creates an empty infinite table.
 func NewInfinite(kind Kind) *Infinite {
-	return &Infinite{kind: kind, entries: make(map[int64]*Entry)}
+	return &Infinite{kind: kind}
 }
 
 // Kind implements Store.
 func (t *Infinite) Kind() Kind { return t.kind }
 
 // Len implements Store.
-func (t *Infinite) Len() int { return len(t.entries) }
+func (t *Infinite) Len() int { return t.count }
 
 // Lookup implements Store.
-func (t *Infinite) Lookup(addr int64) *Entry { return t.entries[addr] }
+func (t *Infinite) Lookup(addr int64) *Entry {
+	if uint64(addr) < uint64(len(t.dense)) {
+		if e := &t.dense[addr]; e.valid {
+			return e
+		}
+		return nil
+	}
+	return t.sparse[addr]
+}
 
 // Allocate implements Store.
 func (t *Infinite) Allocate(addr int64, value isa.Word) *Entry {
-	if e, ok := t.entries[addr]; ok {
+	if uint64(addr) < uint64(len(t.dense)) {
+		e := &t.dense[addr]
+		if !e.valid {
+			*e = Entry{Tag: addr, LastVal: value, valid: true}
+			t.count++
+		}
 		return e
 	}
+	return t.slowAllocate(addr, value)
+}
+
+func (t *Infinite) slowAllocate(addr int64, value isa.Word) *Entry {
+	if addr >= 0 && addr < maxDenseEntry {
+		n := int64(1024)
+		for n <= addr {
+			n *= 2
+		}
+		grown := make([]Entry, n)
+		copy(grown, t.dense)
+		t.dense = grown
+		e := &t.dense[addr]
+		*e = Entry{Tag: addr, LastVal: value, valid: true}
+		t.count++
+		return e
+	}
+	if e, ok := t.sparse[addr]; ok {
+		return e
+	}
+	if t.sparse == nil {
+		t.sparse = make(map[int64]*Entry)
+	}
 	e := &Entry{Tag: addr, LastVal: value, valid: true}
-	t.entries[addr] = e
+	t.sparse[addr] = e
+	t.count++
 	return e
 }
 

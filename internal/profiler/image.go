@@ -43,8 +43,14 @@ type Image struct {
 
 // Image extracts the profile image from the collector.
 func (c *Collector) Image(programName, input string) *Image {
+	return c.set.image(programName, input)
+}
+
+// image extracts the profile image from a stat set.
+func (ss *statSet) image(programName, input string) *Image {
 	im := &Image{Program: programName, Input: input}
-	for _, s := range c.insts {
+	im.Entries = make([]Entry, 0, ss.count)
+	ss.forEach(func(s *InstStat) {
 		im.Entries = append(im.Entries, Entry{
 			Addr:                 s.Addr,
 			Executions:           s.Executions,
@@ -53,7 +59,7 @@ func (c *Collector) Image(programName, input string) *Image {
 			NonZeroStrideCorrect: s.TotalNonZeroStrideCorrect(),
 			CorrectLast:          s.TotalCorrectLast(),
 		})
-	}
+	})
 	sort.Slice(im.Entries, func(i, j int) bool { return im.Entries[i].Addr < im.Entries[j].Addr })
 	return im
 }

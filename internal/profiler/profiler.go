@@ -86,14 +86,92 @@ func pct(num, den int64) float64 {
 	return 100 * float64(num) / float64(den)
 }
 
+// statSet stores per-instruction profiles. Instruction addresses are
+// text-segment indices, so the common case is a dense slice indexed by
+// address — no map hashing on the per-instruction path; addresses outside
+// the dense range (negative, or beyond maxDenseAddr, which only foreign
+// trace files can produce) fall back to a sparse map.
+type statSet struct {
+	dense  []InstStat
+	count  int
+	sparse map[int64]*InstStat
+}
+
+// maxDenseAddr bounds the dense table: addresses at or beyond it are kept
+// sparsely so a stray huge address cannot balloon memory.
+const maxDenseAddr = 1 << 22
+
+// slot returns the stat cell for addr, growing the dense table or falling
+// back to the sparse map as needed. The caller initializes fresh cells
+// (Executions == 0).
+func (ss *statSet) slot(addr int64) *InstStat {
+	if uint64(addr) < uint64(len(ss.dense)) {
+		return &ss.dense[addr]
+	}
+	return ss.slowSlot(addr)
+}
+
+func (ss *statSet) slowSlot(addr int64) *InstStat {
+	if addr >= 0 && addr < maxDenseAddr {
+		n := int64(1024)
+		for n <= addr {
+			n *= 2
+		}
+		grown := make([]InstStat, n)
+		copy(grown, ss.dense)
+		ss.dense = grown
+		return &ss.dense[addr]
+	}
+	if s, ok := ss.sparse[addr]; ok {
+		return s
+	}
+	if ss.sparse == nil {
+		ss.sparse = make(map[int64]*InstStat)
+	}
+	s := &InstStat{}
+	ss.sparse[addr] = s
+	return s
+}
+
+// lookup returns the profiled instruction at addr, or nil.
+func (ss *statSet) lookup(addr int64) *InstStat {
+	if uint64(addr) < uint64(len(ss.dense)) {
+		if s := &ss.dense[addr]; s.Executions > 0 {
+			return s
+		}
+		return nil
+	}
+	if s, ok := ss.sparse[addr]; ok && s.Executions > 0 {
+		return s
+	}
+	return nil
+}
+
+// forEach visits every profiled instruction in unspecified order.
+func (ss *statSet) forEach(f func(*InstStat)) {
+	for i := range ss.dense {
+		if ss.dense[i].Executions > 0 {
+			f(&ss.dense[i])
+		}
+	}
+	for _, s := range ss.sparse {
+		if s.Executions > 0 {
+			f(s)
+		}
+	}
+}
+
 // Collector is a trace consumer that builds per-instruction profiles.
+//
+// Pointers returned by Stat (and passed to ForEach) are invalidated by
+// further Consume calls: the backing storage is a dense slice that may grow.
 type Collector struct {
-	insts map[int64]*InstStat
+	set statSet
 }
 
 // NewCollector creates an empty collector.
 func NewCollector() *Collector {
-	return &Collector{insts: make(map[int64]*InstStat)}
+	return &Collector{}
 }
 
 // Consume implements trace.Consumer.
@@ -101,11 +179,12 @@ func (c *Collector) Consume(r *trace.Record) {
 	if !r.HasDest {
 		return
 	}
-	s, ok := c.insts[r.Addr]
-	if !ok {
+	addr := r.Addr
+	s := c.set.slot(addr)
+	if s.Executions == 0 {
 		info := r.Op.Info()
-		s = &InstStat{Addr: r.Addr, FP: info.IsFP, Load: info.IsLoad}
-		c.insts[r.Addr] = s
+		s.Addr, s.FP, s.Load = addr, info.IsFP, info.IsLoad
+		c.set.count++
 	}
 	s.observe(r.Value, r.Phase)
 }
@@ -141,14 +220,10 @@ func (s *InstStat) observe(value isa.Word, phase int) {
 }
 
 // Stat returns the profile of the instruction at addr, or nil.
-func (c *Collector) Stat(addr int64) *InstStat { return c.insts[addr] }
+func (c *Collector) Stat(addr int64) *InstStat { return c.set.lookup(addr) }
 
 // NumInstructions reports how many static instructions were profiled.
-func (c *Collector) NumInstructions() int { return len(c.insts) }
+func (c *Collector) NumInstructions() int { return c.set.count }
 
 // ForEach visits every profiled instruction in unspecified order.
-func (c *Collector) ForEach(f func(*InstStat)) {
-	for _, s := range c.insts {
-		f(s)
-	}
-}
+func (c *Collector) ForEach(f func(*InstStat)) { c.set.forEach(f) }

@@ -9,12 +9,12 @@ import "repro/internal/trace"
 // register profiler applies to destination values, so the annotation
 // machinery could tag stores exactly like register writers.
 type StoreCollector struct {
-	insts map[int64]*InstStat
+	set statSet
 }
 
 // NewStoreCollector creates an empty store-value profiler.
 func NewStoreCollector() *StoreCollector {
-	return &StoreCollector{insts: make(map[int64]*InstStat)}
+	return &StoreCollector{}
 }
 
 // Consume implements trace.Consumer: it observes the value stream of store
@@ -24,30 +24,26 @@ func (c *StoreCollector) Consume(r *trace.Record) {
 	if !info.IsStore || !r.HasMem {
 		return
 	}
-	s, ok := c.insts[r.Addr]
-	if !ok {
-		s = &InstStat{Addr: r.Addr, FP: info.IsFP}
-		c.insts[r.Addr] = s
+	addr := r.Addr
+	s := c.set.slot(addr)
+	if s.Executions == 0 {
+		s.Addr, s.FP = addr, info.IsFP
+		c.set.count++
 	}
 	s.observe(r.Value, r.Phase)
 }
 
 // Stat returns the profile of the store at addr, or nil.
-func (c *StoreCollector) Stat(addr int64) *InstStat { return c.insts[addr] }
+func (c *StoreCollector) Stat(addr int64) *InstStat { return c.set.lookup(addr) }
 
 // NumInstructions reports how many static stores were profiled.
-func (c *StoreCollector) NumInstructions() int { return len(c.insts) }
+func (c *StoreCollector) NumInstructions() int { return c.set.count }
 
 // ForEach visits every profiled store in unspecified order.
-func (c *StoreCollector) ForEach(f func(*InstStat)) {
-	for _, s := range c.insts {
-		f(s)
-	}
-}
+func (c *StoreCollector) ForEach(f func(*InstStat)) { c.set.forEach(f) }
 
 // Image extracts a profile image of store-value predictability; it uses the
 // same file format as register profiles.
 func (c *StoreCollector) Image(programName, input string) *Image {
-	tmp := &Collector{insts: c.insts}
-	return tmp.Image(programName, input)
+	return c.set.image(programName, input)
 }

@@ -1,0 +1,129 @@
+package trace
+
+import "repro/internal/isa"
+
+// This file implements the record-once/replay-many trace cache. A Recorder
+// captures a dynamic instruction stream into a flat chunked buffer; Replay
+// feeds it back to any number of consumers, bit-identically to the live
+// run, without re-interpreting the program. The experiment drivers use it to
+// run the evaluation input once per benchmark and replay the recorded
+// stream for every threshold and prediction-engine configuration.
+
+// recorderChunkSize is the number of records per storage chunk (16384
+// records × 56 B ≈ 0.9 MiB). Chunked growth keeps append cost flat and
+// avoids ever copying the whole trace during recording.
+const recorderChunkSize = 1 << 14
+
+// Recorder is a Consumer that captures the stream for later replay.
+// Recording is single-threaded (one producer), but a finished Recorder is
+// immutable and Replay/ReplayDirs may be called concurrently from multiple
+// goroutines.
+type Recorder struct {
+	chunks [][]Record
+	n      int64
+}
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Len returns the number of recorded records.
+func (rc *Recorder) Len() int64 { return rc.n }
+
+// Bytes returns the approximate in-memory size of the recorded trace.
+func (rc *Recorder) Bytes() int64 {
+	return int64(len(rc.chunks)) * recorderChunkSize * 56
+}
+
+// Consume implements Consumer by appending a copy of r.
+func (rc *Recorder) Consume(r *Record) {
+	i := int(rc.n % recorderChunkSize)
+	if i == 0 {
+		rc.chunks = append(rc.chunks, make([]Record, recorderChunkSize))
+	}
+	rc.chunks[len(rc.chunks)-1][i] = *r
+	rc.n++
+}
+
+// Replay feeds the recorded stream to the consumers in order. Records are
+// handed out by pointer into the recorded buffer with no per-record copy,
+// under the same contract as a live run: the record is only valid for the
+// duration of the Consume call, and consumers must not modify it.
+func (rc *Recorder) Replay(consumers ...Consumer) {
+	remaining := rc.n
+	if len(consumers) == 1 {
+		// The common fan-out, with the consumer interface loaded once.
+		c := consumers[0]
+		for _, chunk := range rc.chunks {
+			chunk = clip(chunk, remaining)
+			for i := range chunk {
+				c.Consume(&chunk[i])
+			}
+			remaining -= int64(len(chunk))
+		}
+		return
+	}
+	for _, chunk := range rc.chunks {
+		chunk = clip(chunk, remaining)
+		for i := range chunk {
+			for _, c := range consumers {
+				c.Consume(&chunk[i])
+			}
+		}
+		remaining -= int64(len(chunk))
+	}
+}
+
+// ReplayDirs replays the recorded stream with the directive of each record
+// overridden by dirs[Addr] (DirNone for addresses outside dirs). Annotation
+// changes only the directive bits of a program — no code motion — so
+// replaying a plain-program trace under an annotated program's directives is
+// bit-identical to re-executing the annotated program. Each record is
+// patched in a scratch copy; the recorded buffer is never modified, keeping
+// concurrent replays safe.
+func (rc *Recorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
+	var single Consumer
+	if len(consumers) == 1 {
+		single = consumers[0]
+	}
+	var rec Record
+	remaining := rc.n
+	for _, chunk := range rc.chunks {
+		chunk = clip(chunk, remaining)
+		for i := range chunk {
+			rec = chunk[i]
+			if a := rec.Addr; a >= 0 && a < int64(len(dirs)) {
+				rec.Dir = dirs[a]
+			} else {
+				rec.Dir = isa.DirNone
+			}
+			if single != nil {
+				single.Consume(&rec)
+			} else {
+				for _, c := range consumers {
+					c.Consume(&rec)
+				}
+			}
+		}
+		remaining -= int64(len(chunk))
+	}
+}
+
+// clip bounds a chunk to the records actually written (the final chunk is
+// generally only partially filled).
+func clip(chunk []Record, remaining int64) []Record {
+	if int64(len(chunk)) > remaining {
+		return chunk[:remaining]
+	}
+	return chunk
+}
+
+// DirsOf extracts the per-address directive table of a text segment, the
+// input ReplayDirs expects. It lives here (rather than in the program
+// package) so replay callers need only the text slice.
+func DirsOf(text []isa.Instruction) []isa.Directive {
+	dirs := make([]isa.Directive, len(text))
+	for i := range text {
+		dirs[i] = text[i].Dir
+	}
+	return dirs
+}

@@ -3,6 +3,14 @@
 // trace it substitutes for the paper's SHADE environment: it interprets every
 // instruction, tracks architectural state, and hands each retired
 // instruction to registered trace consumers.
+//
+// The interpreter is the repository's single hot path (every experiment
+// re-executes benchmark traces through it), so it is structured for
+// throughput: the text segment is pre-decoded once per machine into a dense
+// dispatch table whose entries carry the precomputed source-operand reads,
+// the per-instruction step is straight-line code with no closures and no
+// allocations, and the consumer fan-out is specialized for the common cases
+// of zero and one attached consumers.
 package vm
 
 import (
@@ -46,10 +54,24 @@ var (
 	ErrPCFault = errors.New("vm: PC outside text segment")
 )
 
+// decoded is one pre-decoded text-segment instruction: the operand fields
+// the interpreter needs, plus the source-operand reads the tracer reports,
+// computed once at machine construction instead of per dynamic execution.
+type decoded struct {
+	op    isa.Opcode
+	rd    isa.Reg
+	rs1   isa.Reg
+	rs2   isa.Reg
+	dir   isa.Directive
+	reads [2]trace.RegRead
+	imm   int64
+}
+
 // Machine is one execution of a program image.
 type Machine struct {
 	prog *program.Program
 	cfg  Config
+	dec  []decoded
 
 	regs  [isa.NumIntRegs]isa.Word
 	fregs [isa.NumFPRegs]float64
@@ -85,6 +107,7 @@ func New(p *program.Program, cfg Config) (*Machine, error) {
 	m := &Machine{
 		prog: p,
 		cfg:  cfg,
+		dec:  predecode(p.Text),
 		mem:  make([]isa.Word, memWords),
 		pc:   p.Entry,
 	}
@@ -92,6 +115,48 @@ func New(p *program.Program, cfg Config) (*Machine, error) {
 	// Conventional stack pointer: top of memory.
 	m.regs[isa.RegSP] = int64(memWords)
 	return m, nil
+}
+
+// predecode builds the dispatch table: one decoded entry per static
+// instruction with the source-operand reads the tracer reports for that
+// opcode precomputed.
+func predecode(text []isa.Instruction) []decoded {
+	dec := make([]decoded, len(text))
+	for i, ins := range text {
+		d := &dec[i]
+		d.op = ins.Op
+		d.rd = ins.Rd
+		d.rs1 = ins.Rs1
+		d.rs2 = ins.Rs2
+		d.dir = ins.Dir
+		d.imm = ins.Imm
+
+		intRead := func(r isa.Reg) trace.RegRead { return trace.RegRead{Valid: true, Reg: r} }
+		fpRead := func(r isa.Reg) trace.RegRead { return trace.RegRead{Valid: true, FP: true, Reg: r} }
+		switch ins.Op {
+		case isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpDIV, isa.OpREM,
+			isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSLL, isa.OpSRL,
+			isa.OpSRA, isa.OpSLT,
+			isa.OpST,
+			isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE:
+			d.reads[0] = intRead(ins.Rs1)
+			d.reads[1] = intRead(ins.Rs2)
+		case isa.OpADDI, isa.OpMULI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+			isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI,
+			isa.OpLD, isa.OpFLD, isa.OpJALR, isa.OpITOF:
+			d.reads[0] = intRead(ins.Rs1)
+		case isa.OpFST:
+			d.reads[0] = intRead(ins.Rs1)
+			d.reads[1] = fpRead(ins.Rs2)
+		case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV,
+			isa.OpFLT, isa.OpFEQ:
+			d.reads[0] = fpRead(ins.Rs1)
+			d.reads[1] = fpRead(ins.Rs2)
+		case isa.OpFMOV, isa.OpFNEG, isa.OpFABS, isa.OpFSQRT, isa.OpFTOI:
+			d.reads[0] = fpRead(ins.Rs1)
+		}
+	}
+	return dec
 }
 
 // Attach registers a trace consumer; every subsequently retired instruction
@@ -118,13 +183,19 @@ func (m *Machine) Mem(a int64) (isa.Word, error) {
 	return m.mem[a], nil
 }
 
-// Run executes until HALT or the instruction budget is exhausted.
+// Run executes until HALT or the instruction budget is exhausted. It is the
+// fused fast path: the halt/budget/PC checks are hoisted into one loop
+// header and the step body is invoked directly on the decoded instruction.
 func (m *Machine) Run() error {
+	budget := m.cfg.MaxInstructions
 	for !m.halted {
-		if m.seq >= m.cfg.MaxInstructions {
+		if m.seq >= budget {
 			return fmt.Errorf("%w (%d instructions, pc=%d)", ErrBudget, m.seq, m.pc)
 		}
-		if err := m.Step(); err != nil {
+		if uint64(m.pc) >= uint64(len(m.dec)) {
+			return fmt.Errorf("%w: pc=%d text=[0,%d)", ErrPCFault, m.pc, len(m.dec))
+		}
+		if err := m.step(&m.dec[m.pc]); err != nil {
 			return err
 		}
 	}
@@ -136,279 +207,220 @@ func (m *Machine) Step() error {
 	if m.halted {
 		return errors.New("vm: step after halt")
 	}
-	if m.pc < 0 || m.pc >= int64(len(m.prog.Text)) {
-		return fmt.Errorf("%w: pc=%d text=[0,%d)", ErrPCFault, m.pc, len(m.prog.Text))
+	if uint64(m.pc) >= uint64(len(m.dec)) {
+		return fmt.Errorf("%w: pc=%d text=[0,%d)", ErrPCFault, m.pc, len(m.dec))
 	}
-	ins := m.prog.Text[m.pc]
-	m.rec = trace.Record{
+	return m.step(&m.dec[m.pc])
+}
+
+// setInt retires an integer register result: architectural write plus the
+// destination fields of the pending trace record. Writes to the hard-wired
+// zero register are discarded and produce no observable value.
+func (m *Machine) setInt(rd isa.Reg, v isa.Word) {
+	if rd != isa.RegZero {
+		m.regs[rd] = v
+		m.rec.HasDest = true
+		m.rec.Dest = rd
+		m.rec.Value = v
+	}
+}
+
+// setFP retires a floating-point register result; the trace carries the
+// IEEE-754 bit pattern.
+func (m *Machine) setFP(rd isa.Reg, v float64) {
+	m.fregs[rd] = v
+	m.rec.HasDest = true
+	m.rec.DestFP = true
+	m.rec.Dest = rd
+	m.rec.Value = int64(math.Float64bits(v))
+}
+
+// step executes one pre-decoded instruction. The caller has already
+// bounds-checked the PC against the decode table.
+func (m *Machine) step(ins *decoded) error {
+	rec := &m.rec
+	*rec = trace.Record{
 		Addr:  m.pc,
-		Op:    ins.Op,
-		Dir:   ins.Dir,
+		Op:    ins.op,
+		Dir:   ins.dir,
 		Phase: m.phase,
 		Seq:   m.seq,
+		Reads: ins.reads,
 	}
-	rec := &m.rec
 	nextPC := m.pc + 1
 
 	// The common operand fetch; per-opcode semantics below.
-	rs1 := m.regs[ins.Rs1]
-	rs2 := m.regs[ins.Rs2]
-	fs1 := m.fregs[ins.Rs1]
-	fs2 := m.fregs[ins.Rs2]
+	rs1 := m.regs[ins.rs1]
+	rs2 := m.regs[ins.rs2]
 
-	setInt := func(v isa.Word) {
-		if ins.Rd != isa.RegZero {
-			m.regs[ins.Rd] = v
-			rec.HasDest = true
-			rec.Dest = ins.Rd
-			rec.Value = v
-		}
-	}
-	setFP := func(v float64) {
-		m.fregs[ins.Rd] = v
-		rec.HasDest = true
-		rec.DestFP = true
-		rec.Dest = ins.Rd
-		rec.Value = int64(math.Float64bits(v))
-	}
-	readInt := func(i int, r isa.Reg) { rec.Reads[i] = trace.RegRead{Valid: true, Reg: r} }
-	readFP := func(i int, r isa.Reg) { rec.Reads[i] = trace.RegRead{Valid: true, FP: true, Reg: r} }
-
-	switch ins.Op {
+	switch ins.op {
 	case isa.OpADD:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 + rs2)
+		m.setInt(ins.rd, rs1+rs2)
 	case isa.OpSUB:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 - rs2)
+		m.setInt(ins.rd, rs1-rs2)
 	case isa.OpMUL:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 * rs2)
+		m.setInt(ins.rd, rs1*rs2)
 	case isa.OpDIV:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
 		if rs2 == 0 {
 			return fmt.Errorf("%w at pc=%d", ErrDivZero, m.pc)
 		}
-		setInt(rs1 / rs2)
+		m.setInt(ins.rd, rs1/rs2)
 	case isa.OpREM:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
 		if rs2 == 0 {
 			return fmt.Errorf("%w at pc=%d", ErrDivZero, m.pc)
 		}
-		setInt(rs1 % rs2)
+		m.setInt(ins.rd, rs1%rs2)
 	case isa.OpAND:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 & rs2)
+		m.setInt(ins.rd, rs1&rs2)
 	case isa.OpOR:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 | rs2)
+		m.setInt(ins.rd, rs1|rs2)
 	case isa.OpXOR:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 ^ rs2)
+		m.setInt(ins.rd, rs1^rs2)
 	case isa.OpSLL:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 << (uint64(rs2) & 63))
+		m.setInt(ins.rd, rs1<<(uint64(rs2)&63))
 	case isa.OpSRL:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(int64(uint64(rs1) >> (uint64(rs2) & 63)))
+		m.setInt(ins.rd, int64(uint64(rs1)>>(uint64(rs2)&63)))
 	case isa.OpSRA:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(rs1 >> (uint64(rs2) & 63))
+		m.setInt(ins.rd, rs1>>(uint64(rs2)&63))
 	case isa.OpSLT:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		setInt(boolWord(rs1 < rs2))
+		m.setInt(ins.rd, boolWord(rs1 < rs2))
 
 	case isa.OpADDI:
-		readInt(0, ins.Rs1)
-		setInt(rs1 + ins.Imm)
+		m.setInt(ins.rd, rs1+ins.imm)
 	case isa.OpMULI:
-		readInt(0, ins.Rs1)
-		setInt(rs1 * ins.Imm)
+		m.setInt(ins.rd, rs1*ins.imm)
 	case isa.OpANDI:
-		readInt(0, ins.Rs1)
-		setInt(rs1 & ins.Imm)
+		m.setInt(ins.rd, rs1&ins.imm)
 	case isa.OpORI:
-		readInt(0, ins.Rs1)
-		setInt(rs1 | ins.Imm)
+		m.setInt(ins.rd, rs1|ins.imm)
 	case isa.OpXORI:
-		readInt(0, ins.Rs1)
-		setInt(rs1 ^ ins.Imm)
+		m.setInt(ins.rd, rs1^ins.imm)
 	case isa.OpSLLI:
-		readInt(0, ins.Rs1)
-		setInt(rs1 << (uint64(ins.Imm) & 63))
+		m.setInt(ins.rd, rs1<<(uint64(ins.imm)&63))
 	case isa.OpSRLI:
-		readInt(0, ins.Rs1)
-		setInt(int64(uint64(rs1) >> (uint64(ins.Imm) & 63)))
+		m.setInt(ins.rd, int64(uint64(rs1)>>(uint64(ins.imm)&63)))
 	case isa.OpSRAI:
-		readInt(0, ins.Rs1)
-		setInt(rs1 >> (uint64(ins.Imm) & 63))
+		m.setInt(ins.rd, rs1>>(uint64(ins.imm)&63))
 	case isa.OpSLTI:
-		readInt(0, ins.Rs1)
-		setInt(boolWord(rs1 < ins.Imm))
+		m.setInt(ins.rd, boolWord(rs1 < ins.imm))
 
 	case isa.OpLDI:
-		setInt(ins.Imm)
+		m.setInt(ins.rd, ins.imm)
 
 	case isa.OpLD:
-		readInt(0, ins.Rs1)
-		v, err := m.load(rs1 + ins.Imm)
-		if err != nil {
-			return err
+		a := rs1 + ins.imm
+		if uint64(a) >= uint64(len(m.mem)) {
+			return fmt.Errorf("%w: load of %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
 		}
-		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
-		setInt(v)
+		rec.HasMem, rec.MemAddr = true, a
+		m.setInt(ins.rd, m.mem[a])
 	case isa.OpST:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
-		if err := m.store(rs1+ins.Imm, rs2); err != nil {
-			return err
+		a := rs1 + ins.imm
+		if uint64(a) >= uint64(len(m.mem)) {
+			return fmt.Errorf("%w: store to %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
 		}
-		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
+		m.mem[a] = rs2
+		rec.HasMem, rec.MemAddr = true, a
 		// Stores carry the stored value in the record (HasDest stays
 		// false): the store-value-prediction extension profiles it.
 		rec.Value = rs2
 	case isa.OpFLD:
-		readInt(0, ins.Rs1)
-		v, err := m.load(rs1 + ins.Imm)
-		if err != nil {
-			return err
+		a := rs1 + ins.imm
+		if uint64(a) >= uint64(len(m.mem)) {
+			return fmt.Errorf("%w: load of %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
 		}
-		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
-		setFP(math.Float64frombits(uint64(v)))
+		rec.HasMem, rec.MemAddr = true, a
+		m.setFP(ins.rd, math.Float64frombits(uint64(m.mem[a])))
 	case isa.OpFST:
-		readInt(0, ins.Rs1)
-		readFP(1, ins.Rs2)
-		if err := m.store(rs1+ins.Imm, int64(math.Float64bits(fs2))); err != nil {
-			return err
+		a := rs1 + ins.imm
+		if uint64(a) >= uint64(len(m.mem)) {
+			return fmt.Errorf("%w: store to %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
 		}
-		rec.HasMem, rec.MemAddr = true, rs1+ins.Imm
-		rec.Value = int64(math.Float64bits(fs2))
+		v := int64(math.Float64bits(m.fregs[ins.rs2]))
+		m.mem[a] = v
+		rec.HasMem, rec.MemAddr = true, a
+		rec.Value = v
 
 	case isa.OpBEQ:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
 		if rs1 == rs2 {
-			nextPC = ins.Imm
+			nextPC = ins.imm
 			rec.Taken = true
 		}
 	case isa.OpBNE:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
 		if rs1 != rs2 {
-			nextPC = ins.Imm
+			nextPC = ins.imm
 			rec.Taken = true
 		}
 	case isa.OpBLT:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
 		if rs1 < rs2 {
-			nextPC = ins.Imm
+			nextPC = ins.imm
 			rec.Taken = true
 		}
 	case isa.OpBGE:
-		readInt(0, ins.Rs1)
-		readInt(1, ins.Rs2)
 		if rs1 >= rs2 {
-			nextPC = ins.Imm
+			nextPC = ins.imm
 			rec.Taken = true
 		}
 	case isa.OpJMP:
-		nextPC = ins.Imm
+		nextPC = ins.imm
 		rec.Taken = true
 	case isa.OpJAL:
-		setInt(m.pc + 1)
-		nextPC = ins.Imm
+		m.setInt(ins.rd, m.pc+1)
+		nextPC = ins.imm
 		rec.Taken = true
 	case isa.OpJALR:
-		readInt(0, ins.Rs1)
-		setInt(m.pc + 1)
+		m.setInt(ins.rd, m.pc+1)
 		nextPC = rs1
 		rec.Taken = true
 
 	case isa.OpFADD:
-		readFP(0, ins.Rs1)
-		readFP(1, ins.Rs2)
-		setFP(fs1 + fs2)
+		m.setFP(ins.rd, m.fregs[ins.rs1]+m.fregs[ins.rs2])
 	case isa.OpFSUB:
-		readFP(0, ins.Rs1)
-		readFP(1, ins.Rs2)
-		setFP(fs1 - fs2)
+		m.setFP(ins.rd, m.fregs[ins.rs1]-m.fregs[ins.rs2])
 	case isa.OpFMUL:
-		readFP(0, ins.Rs1)
-		readFP(1, ins.Rs2)
-		setFP(fs1 * fs2)
+		m.setFP(ins.rd, m.fregs[ins.rs1]*m.fregs[ins.rs2])
 	case isa.OpFDIV:
-		readFP(0, ins.Rs1)
-		readFP(1, ins.Rs2)
-		setFP(fs1 / fs2)
+		m.setFP(ins.rd, m.fregs[ins.rs1]/m.fregs[ins.rs2])
 	case isa.OpFMOV:
-		readFP(0, ins.Rs1)
-		setFP(fs1)
+		m.setFP(ins.rd, m.fregs[ins.rs1])
 	case isa.OpFNEG:
-		readFP(0, ins.Rs1)
-		setFP(-fs1)
+		m.setFP(ins.rd, -m.fregs[ins.rs1])
 	case isa.OpFABS:
-		readFP(0, ins.Rs1)
-		setFP(math.Abs(fs1))
+		m.setFP(ins.rd, math.Abs(m.fregs[ins.rs1]))
 	case isa.OpFSQRT:
-		readFP(0, ins.Rs1)
-		setFP(math.Sqrt(math.Abs(fs1)))
+		m.setFP(ins.rd, math.Sqrt(math.Abs(m.fregs[ins.rs1])))
 	case isa.OpITOF:
-		readInt(0, ins.Rs1)
-		setFP(float64(rs1))
+		m.setFP(ins.rd, float64(rs1))
 	case isa.OpFTOI:
-		readFP(0, ins.Rs1)
-		setInt(truncToInt(fs1))
+		m.setInt(ins.rd, truncToInt(m.fregs[ins.rs1]))
 	case isa.OpFLT:
-		readFP(0, ins.Rs1)
-		readFP(1, ins.Rs2)
-		setInt(boolWord(fs1 < fs2))
+		m.setInt(ins.rd, boolWord(m.fregs[ins.rs1] < m.fregs[ins.rs2]))
 	case isa.OpFEQ:
-		readFP(0, ins.Rs1)
-		readFP(1, ins.Rs2)
-		setInt(boolWord(fs1 == fs2))
+		m.setInt(ins.rd, boolWord(m.fregs[ins.rs1] == m.fregs[ins.rs2]))
 
 	case isa.OpNOP:
 	case isa.OpHALT:
 		m.halted = true
 	case isa.OpPHASE:
-		m.phase = int(ins.Imm)
+		m.phase = int(ins.imm)
 		rec.Phase = m.phase
 
 	default:
-		return fmt.Errorf("vm: unimplemented opcode %s at pc=%d", ins.Op, m.pc)
+		return fmt.Errorf("vm: unimplemented opcode %s at pc=%d", ins.op, m.pc)
 	}
 
 	m.pc = nextPC
 	m.seq++
-	m.consumers.Consume(rec)
-	return nil
-}
-
-func (m *Machine) load(a int64) (isa.Word, error) {
-	if a < 0 || a >= int64(len(m.mem)) {
-		return 0, fmt.Errorf("%w: load of %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
+	// Fan-out, specialized for the overwhelmingly common 0- and
+	// 1-consumer cases to avoid the slice-iteration overhead of the
+	// general Tee per retired instruction.
+	switch len(m.consumers) {
+	case 0:
+	case 1:
+		m.consumers[0].Consume(rec)
+	default:
+		m.consumers.Consume(rec)
 	}
-	return m.mem[a], nil
-}
-
-func (m *Machine) store(a int64, v isa.Word) error {
-	if a < 0 || a >= int64(len(m.mem)) {
-		return fmt.Errorf("%w: store to %d at pc=%d (mem size %d)", ErrMemFault, a, m.pc, len(m.mem))
-	}
-	m.mem[a] = v
 	return nil
 }
 

@@ -1,0 +1,164 @@
+// Substrate performance benchmarks for the simulation hot path: raw VM
+// stepping throughput, trace recording overhead, and the record-once/
+// replay-many cache against per-configuration re-execution. These are the
+// numbers DESIGN.md's Performance section and scripts/bench.sh track
+// across PRs.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/profiler"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/vpsim"
+	"repro/internal/workload"
+)
+
+// BenchmarkVMSteps measures raw interpreter throughput with no consumers
+// attached, reporting mega-instructions per second.
+func BenchmarkVMSteps(b *testing.B) {
+	prog, err := workload.Build("compress", workload.EvaluationInput())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		m, err := vm.New(prog, vm.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		total += m.InstructionsRetired()
+	}
+	b.StopTimer()
+	reportMIPS(b, total)
+}
+
+// BenchmarkVMStepsRecording measures interpreter throughput with the trace
+// recorder attached — the cost of producing the replay cache.
+func BenchmarkVMStepsRecording(b *testing.B) {
+	prog, err := workload.Build("compress", workload.EvaluationInput())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		rec := trace.NewRecorder()
+		n, err := workload.Run(prog, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.StopTimer()
+	reportMIPS(b, total)
+}
+
+// BenchmarkReplayVsReexecute compares feeding one consumer (the profile
+// collector) from a live re-execution against a replay of the recorded
+// trace — the per-configuration cost the threshold-sweep drivers pay.
+func BenchmarkReplayVsReexecute(b *testing.B) {
+	prog, err := workload.Build("compress", workload.EvaluationInput())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	if _, err := workload.Run(prog, rec); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("reexecute", func(b *testing.B) {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			col := profiler.NewCollector()
+			n, err := workload.Run(prog, col)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += n
+		}
+		b.StopTimer()
+		reportMIPS(b, total)
+	})
+	b.Run("replay", func(b *testing.B) {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			col := profiler.NewCollector()
+			rec.Replay(col)
+			total += rec.Len()
+		}
+		b.StopTimer()
+		reportMIPS(b, total)
+	})
+}
+
+// BenchmarkThresholdSweep compares the full multi-configuration evaluation
+// pattern of the Section 5 drivers: one prediction-engine run per
+// threshold, either by re-executing the annotated program each time or by
+// replaying the recorded evaluation trace under each annotation's
+// directives.
+func BenchmarkThresholdSweep(b *testing.B) {
+	ctx := experiments.NewContext()
+	bench := "gcc"
+	thresholds := experiments.DefaultThresholds
+	// Pre-resolve annotated programs so both arms measure evaluation only.
+	progs := make(map[float64]*program.Program, len(thresholds))
+	for _, th := range thresholds {
+		p, _, err := ctx.Annotated(bench, th)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs[th] = p
+	}
+
+	newEngine := func() *vpsim.Engine {
+		table, err := predictor.NewTable(predictor.Stride, predictor.DefaultTableConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return vpsim.NewProfileEngine(table)
+	}
+
+	b.Run("reexecute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, th := range thresholds {
+				engine := newEngine()
+				if _, err := workload.Run(progs[th], engine); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		rec, err := ctx.EvalTrace(bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, th := range thresholds {
+				engine := newEngine()
+				rec.ReplayDirs(trace.DirsOf(progs[th].Text), engine)
+			}
+		}
+	})
+}
+
+func reportMIPS(b *testing.B, totalInstructions int64) {
+	if b.N == 0 {
+		return
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(totalInstructions)/secs/1e6, "Minstr/s")
+	}
+	b.ReportMetric(float64(totalInstructions)/float64(b.N), "instructions/op")
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the key simulation-throughput benchmarks with -benchmem and emits a
+# machine-readable BENCH_report.json (one entry per benchmark) so the perf
+# trajectory can be tracked across PRs. Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1s)
+#   BENCHMARKS  benchmark selection regex (default: the substrate + driver set)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_report.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCHMARKS" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+# Convert `go test -bench` output lines into JSON:
+#   BenchmarkFoo/bar-8  10  123 ns/op  45.6 Minstr/s  678 B/op  9 allocs/op
+awk '
+BEGIN {
+    print "{"
+    printf "  \"schema\": \"bench-report/v1\",\n"
+    printf "  \"benchmarks\": [\n"
+    first = 1
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[\\"]/, "", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END {
+    printf "\n  ]\n}\n"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
