@@ -5,6 +5,7 @@ package repro
 // vprun / vptrace) through files, exactly as a user would.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -161,6 +162,40 @@ func TestCLIBenchmarkMode(t *testing.T) {
 	out = run(t, filepath.Join(bin, "vprun"), "-classifier", "profile", ann)
 	if !strings.Contains(out, "compress") {
 		t.Errorf("vprun output: %s", out)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	// vprun -json must emit the report.Run schema the vpserve API shares.
+	bin := buildTools(t)
+	out := run(t, filepath.Join(bin, "vprun"), "-bench", "compress", "-json")
+	var got struct {
+		Program      string `json:"program"`
+		Fingerprint  string `json:"fingerprint"`
+		Input        string `json:"input"`
+		Instructions int64  `json:"instructions"`
+		Classifier   string `json:"classifier"`
+		Predictor    struct {
+			Kind    string `json:"kind"`
+			Entries int    `json:"entries"`
+		} `json:"predictor"`
+		ValueInstructions int64   `json:"value_instructions"`
+		Accuracy          float64 `json:"prediction_accuracy_pct"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("vprun -json output not valid JSON: %v\n%s", err, out)
+	}
+	if got.Program != "compress" || got.Fingerprint == "" || got.Input != "seed=1,scale=1" {
+		t.Errorf("identity fields: %+v", got)
+	}
+	if got.Instructions == 0 || got.ValueInstructions == 0 {
+		t.Errorf("empty counters: %+v", got)
+	}
+	if got.Classifier != "fsm" || got.Predictor.Kind != "stride" || got.Predictor.Entries != 512 {
+		t.Errorf("config fields: %+v", got)
+	}
+	if got.Accuracy <= 0 || got.Accuracy > 100 {
+		t.Errorf("prediction accuracy %v outside (0,100]", got.Accuracy)
 	}
 }
 

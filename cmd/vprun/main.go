@@ -10,9 +10,15 @@
 //	vprun -bench vortex -predictor stride -entries 512 -assoc 2 -classifier fsm
 //	vprun -bench vortex -classifier profile      # uses the image's directives
 //	vprun -bench m88ksim -trace out.vptrc        # dump the trace to a file
+//	vprun -bench gcc -json                       # machine-readable stats
+//
+// -json emits the same report.Run schema the vpserve HTTP API returns, so
+// scripted consumers see one format whether they shell out or talk to the
+// daemon.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/predictor"
 	"repro/internal/program"
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/vpsim"
 	"repro/internal/workload"
@@ -36,6 +43,7 @@ func main() {
 		classifier = flag.String("classifier", "fsm", "classifier: fsm or profile")
 		tracePath  = flag.String("trace", "", "write the dynamic trace to this file")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (the vpserve report.Run schema)")
 	)
 	flag.Parse()
 
@@ -117,6 +125,34 @@ func main() {
 		fatal(err)
 	}
 	st := engine.Stats()
+	if *jsonOut {
+		fp, err := workload.Fingerprint(p)
+		if err != nil {
+			fatal(err)
+		}
+		out := &report.Run{
+			Program:      p.Name,
+			Fingerprint:  fp,
+			Instructions: n,
+			Classifier:   *classifier,
+			Predictor:    report.Predictor{Kind: *predKind, Entries: *entries, Assoc: *assoc},
+		}
+		if *bench != "" {
+			out.Input = workload.Input{Seed: *seed, Scale: *scale}.String()
+		}
+		out.SetStats(st)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 	fmt.Printf("program:            %s\n", p.Name)
 	fmt.Printf("instructions:       %d\n", n)
 	fmt.Printf("value instructions: %d\n", st.ValueInstructions)

@@ -1,0 +1,90 @@
+// Command vpserve runs the profiling-as-a-service daemon: a JSON HTTP API
+// over the profile → classify → annotate → evaluate pipeline, with a bounded
+// job queue, a worker pool, and fingerprint-keyed result/trace caches
+// (DESIGN.md §8).
+//
+// Usage:
+//
+//	vpserve -addr :8080
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/evaluate -d '{"bench":"compress"}'
+//	curl -X POST localhost:8080/v1/evaluate \
+//	    -d '{"bench":"gcc","classifier":"profile","threshold":80,"ilp":true}'
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
+// in-flight jobs drain (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job-queue depth")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout (queue wait included)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		train   = flag.Int("train", 0, "training inputs for profile-classified benchmark runs (0 = paper's n=5)")
+		results = flag.Int("result-cache", 1024, "result-cache entries")
+		traces  = flag.Int("trace-cache", 32, "trace-cache entries (each can hold a full benchmark trace)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		TrainInputs:    *train,
+		ResultCache:    *results,
+		TraceCache:     *traces,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vpserve: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("vpserve: listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("vpserve: %s received, draining (deadline %s)", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("vpserve: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue: queued
+	// and in-flight jobs complete (async pollers already hold their job
+	// ids against a future restart; sync waiters are cut off with the
+	// listener).
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vpserve: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("vpserve: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("vpserve: drained cleanly")
+}

@@ -28,6 +28,20 @@ const DefaultTrainInputs = 5
 // pipeline stages (training profiles, evaluation collectors, annotated
 // programs) across experiments — the same way the paper's tool flow reuses
 // one profile image for every threshold.
+//
+// Concurrency: a Context is safe for unrestricted concurrent use. Each cache
+// is a map of single-flight cells — the mutex guards only map access, and a
+// per-key sync.Once makes the first caller compute while concurrent callers
+// for the same key block and share the one result (instead of racing to
+// duplicate the work, as the earlier check-then-fill scheme allowed). The
+// memoized values are published through the Once (a happens-before edge) and
+// are immutable afterwards: profile images are never written after
+// construction, annotated programs are fresh clones, and trace recorders are
+// Sealed before they are cached, so a latent Consume on a shared recorder
+// panics instead of racing. Replay hands records to consumers by pointer
+// into the shared buffer under a strict read-only contract; the -race stress
+// test in context_race_test.go drives every memoized path from many
+// goroutines to prove the contract holds end to end.
 type Context struct {
 	// NumTrainInputs is n, the number of training inputs profiled.
 	NumTrainInputs int
@@ -35,11 +49,11 @@ type Context struct {
 	Thresholds []float64
 
 	mu         sync.Mutex
-	trainCache map[string][]*profiler.Image
-	mergeCache map[string]*profiler.Image
-	evalCache  map[string]*profiler.Collector
-	annoCache  map[annoKey]*annotated
-	traceCache map[string]*trace.Recorder
+	trainCache map[string]*cell[[]*profiler.Image]
+	mergeCache map[string]*cell[*profiler.Image]
+	evalCache  map[string]*cell[*profiler.Collector]
+	annoCache  map[annoKey]*cell[*annotated]
+	traceCache map[string]*cell[*trace.Recorder]
 }
 
 type annoKey struct {
@@ -52,65 +66,70 @@ type annotated struct {
 	stats annotate.Stats
 }
 
+// cell is one single-flight memoization slot: the first caller computes
+// under the Once, everyone else blocks on it and shares the result. Errors
+// are memoized too — the pipeline stages are deterministic in their inputs,
+// so a failure would only repeat.
+type cell[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// memoize returns m[key], computing it exactly once across concurrent
+// callers. mu must guard m.
+func memoize[K comparable, V any](mu *sync.Mutex, m map[K]*cell[V], key K, f func() (V, error)) (V, error) {
+	mu.Lock()
+	c, ok := m[key]
+	if !ok {
+		c = &cell[V]{}
+		m[key] = c
+	}
+	mu.Unlock()
+	c.once.Do(func() { c.val, c.err = f() })
+	return c.val, c.err
+}
+
 // NewContext returns a Context with the paper's defaults.
 func NewContext() *Context {
 	return &Context{
 		NumTrainInputs: DefaultTrainInputs,
 		Thresholds:     DefaultThresholds,
-		trainCache:     make(map[string][]*profiler.Image),
-		mergeCache:     make(map[string]*profiler.Image),
-		evalCache:      make(map[string]*profiler.Collector),
-		annoCache:      make(map[annoKey]*annotated),
-		traceCache:     make(map[string]*trace.Recorder),
+		trainCache:     make(map[string]*cell[[]*profiler.Image]),
+		mergeCache:     make(map[string]*cell[*profiler.Image]),
+		evalCache:      make(map[string]*cell[*profiler.Collector]),
+		annoCache:      make(map[annoKey]*cell[*annotated]),
+		traceCache:     make(map[string]*cell[*trace.Recorder]),
 	}
 }
 
 // TrainImages profiles the benchmark under each training input (phase 2 of
 // figure 3.1, repeated n times) and returns the per-run profile images.
 func (c *Context) TrainImages(bench string) ([]*profiler.Image, error) {
-	c.mu.Lock()
-	if ims, ok := c.trainCache[bench]; ok {
-		c.mu.Unlock()
-		return ims, nil
-	}
-	c.mu.Unlock()
-
-	inputs := workload.TrainingInputs(c.NumTrainInputs)
-	ims := make([]*profiler.Image, len(inputs))
-	for i, in := range inputs {
-		col := profiler.NewCollector()
-		if _, err := workload.BuildAndRun(bench, in, col); err != nil {
-			return nil, fmt.Errorf("experiments: profile %s under %s: %w", bench, in, err)
+	return memoize(&c.mu, c.trainCache, bench, func() ([]*profiler.Image, error) {
+		inputs := workload.TrainingInputs(c.NumTrainInputs)
+		ims := make([]*profiler.Image, len(inputs))
+		for i, in := range inputs {
+			col := profiler.NewCollector()
+			if _, err := workload.BuildAndRun(bench, in, col); err != nil {
+				return nil, fmt.Errorf("experiments: profile %s under %s: %w", bench, in, err)
+			}
+			ims[i] = col.Image(bench, in.String())
 		}
-		ims[i] = col.Image(bench, in.String())
-	}
-	c.mu.Lock()
-	c.trainCache[bench] = ims
-	c.mu.Unlock()
-	return ims, nil
+		return ims, nil
+	})
 }
 
 // MergedTrainImage condenses the n training profiles into the single image
 // handed to the compiler.
 func (c *Context) MergedTrainImage(bench string) (*profiler.Image, error) {
-	c.mu.Lock()
-	if im, ok := c.mergeCache[bench]; ok {
-		c.mu.Unlock()
-		return im, nil
-	}
-	c.mu.Unlock()
-	ims, err := c.TrainImages(bench)
-	if err != nil {
-		return nil, err
-	}
-	merged, err := profiler.Merge(ims...)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.mergeCache[bench] = merged
-	c.mu.Unlock()
-	return merged, nil
+	return memoize(&c.mu, c.mergeCache, bench, func() (*profiler.Image, error) {
+		ims, err := c.TrainImages(bench)
+		if err != nil {
+			return nil, err
+		}
+		return profiler.Merge(ims...)
+	})
 }
 
 // EvalTrace runs the benchmark's unannotated program under the evaluation
@@ -120,20 +139,17 @@ func (c *Context) MergedTrainImage(bench string) (*profiler.Image, error) {
 // re-interpreting the program per configuration — the record-once/
 // replay-many cache that makes the multi-threshold drivers cheap.
 func (c *Context) EvalTrace(bench string) (*trace.Recorder, error) {
-	c.mu.Lock()
-	if rec, ok := c.traceCache[bench]; ok {
-		c.mu.Unlock()
+	return memoize(&c.mu, c.traceCache, bench, func() (*trace.Recorder, error) {
+		rec := trace.NewRecorder()
+		if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), rec); err != nil {
+			return nil, fmt.Errorf("experiments: record %s evaluation trace: %w", bench, err)
+		}
+		// Seal before publication: the recorder is shared by every
+		// replaying goroutine from here on, and a stray Consume must
+		// panic rather than race.
+		rec.Seal()
 		return rec, nil
-	}
-	c.mu.Unlock()
-	rec := trace.NewRecorder()
-	if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), rec); err != nil {
-		return nil, fmt.Errorf("experiments: record %s evaluation trace: %w", bench, err)
-	}
-	c.mu.Lock()
-	c.traceCache[bench] = rec
-	c.mu.Unlock()
-	return rec, nil
+	})
 }
 
 // EvalCollector profiles the benchmark under the evaluation input — the
@@ -142,53 +158,41 @@ func (c *Context) EvalTrace(bench string) (*trace.Recorder, error) {
 // input through prediction engines. The profile is built by replaying the
 // recorded evaluation trace.
 func (c *Context) EvalCollector(bench string) (*profiler.Collector, error) {
-	c.mu.Lock()
-	if col, ok := c.evalCache[bench]; ok {
-		c.mu.Unlock()
+	return memoize(&c.mu, c.evalCache, bench, func() (*profiler.Collector, error) {
+		rec, err := c.EvalTrace(bench)
+		if err != nil {
+			return nil, err
+		}
+		col := profiler.NewCollector()
+		rec.Replay(col)
 		return col, nil
-	}
-	c.mu.Unlock()
-	rec, err := c.EvalTrace(bench)
-	if err != nil {
-		return nil, err
-	}
-	col := profiler.NewCollector()
-	rec.Replay(col)
-	c.mu.Lock()
-	c.evalCache[bench] = col
-	c.mu.Unlock()
-	return col, nil
+	})
 }
 
 // Annotated returns the benchmark's program annotated at the given accuracy
 // threshold from the merged training profile, plus the tagging statistics.
 func (c *Context) Annotated(bench string, threshold float64) (*program.Program, annotate.Stats, error) {
-	key := annoKey{bench, threshold}
-	c.mu.Lock()
-	if a, ok := c.annoCache[key]; ok {
-		c.mu.Unlock()
-		return a.prog, a.stats, nil
-	}
-	c.mu.Unlock()
-
-	im, err := c.MergedTrainImage(bench)
+	a, err := memoize(&c.mu, c.annoCache, annoKey{bench, threshold}, func() (*annotated, error) {
+		im, err := c.MergedTrainImage(bench)
+		if err != nil {
+			return nil, err
+		}
+		p, err := workload.Build(bench, workload.EvaluationInput())
+		if err != nil {
+			return nil, err
+		}
+		opts := annotate.DefaultOptions
+		opts.AccuracyThreshold = threshold
+		ap, st, err := annotate.Apply(p, im, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &annotated{prog: ap, stats: st}, nil
+	})
 	if err != nil {
 		return nil, annotate.Stats{}, err
 	}
-	p, err := workload.Build(bench, workload.EvaluationInput())
-	if err != nil {
-		return nil, annotate.Stats{}, err
-	}
-	opts := annotate.DefaultOptions
-	opts.AccuracyThreshold = threshold
-	ap, st, err := annotate.Apply(p, im, opts)
-	if err != nil {
-		return nil, st, err
-	}
-	c.mu.Lock()
-	c.annoCache[key] = &annotated{prog: ap, stats: st}
-	c.mu.Unlock()
-	return ap, st, nil
+	return a.prog, a.stats, nil
 }
 
 // RunEvalPlain feeds the consumers the benchmark's evaluation-input

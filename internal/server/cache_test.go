@@ -1,0 +1,159 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache[int](4)
+	calls := 0
+	get := func(k string) (int, bool) {
+		v, hit, err := c.Do(k, func() (int, error) { calls++; return calls, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, hit
+	}
+	if v, hit := get("a"); hit || v != 1 {
+		t.Fatalf("first: v=%d hit=%v", v, hit)
+	}
+	if v, hit := get("a"); !hit || v != 1 {
+		t.Fatalf("second: v=%d hit=%v", v, hit)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache[string](2)
+	fill := func(k string) {
+		if _, _, err := c.Do(k, func() (string, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fill("a")
+	fill("b")
+	fill("a") // touch a: b is now least recently used
+	fill("c") // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache[int](4)
+	calls := 0
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_, hit, err := c.Do("k", func() (int, error) { calls++; return 0, boom })
+		if !errors.Is(err, boom) || hit {
+			t.Fatalf("iter %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("failed computation cached: %d calls", calls)
+	}
+	// A later success is cached.
+	if v, _, err := c.Do("k", func() (int, error) { return 42, nil }); err != nil || v != 42 {
+		t.Fatalf("recovery: v=%d err=%v", v, err)
+	}
+	if _, hit, _ := c.Do("k", func() (int, error) { return 0, nil }); !hit {
+		t.Fatal("recovered value not cached")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache[int](8)
+	var mu sync.Mutex
+	calls := 0
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, 16)
+	hits := make([]bool, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			v, hit, err := c.Do("k", func() (int, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g], hits[g] = v, hit
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times under contention", calls)
+	}
+	var joined int
+	for g := range results {
+		if results[g] != 7 {
+			t.Fatalf("goroutine %d got %d", g, results[g])
+		}
+		if hits[g] {
+			joined++
+		}
+	}
+	// Exactly one caller computed; the 15 others joined as hits.
+	if joined != len(results)-1 {
+		t.Fatalf("%d joiners counted as hits, want %d", joined, len(results)-1)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache[int](0)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if _, hit, _ := c.Do("k", func() (int, error) { calls++; return 0, nil }); hit {
+			t.Fatal("disabled cache reported a hit")
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("disabled cache memoized: %d calls", calls)
+	}
+}
+
+func TestCacheConcurrentChurn(t *testing.T) {
+	// Many goroutines over a keyspace larger than the cache: exercises
+	// eviction racing with in-flight computations under -race.
+	c := NewCache[int](4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%10)
+				if v, _, err := c.Do(k, func() (int, error) { return len(k), nil }); err != nil || v != len(k) {
+					t.Errorf("Do(%s) = %d, %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 4 {
+		t.Fatalf("cache exceeded bound: %+v", st)
+	}
+}

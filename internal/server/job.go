@@ -1,0 +1,455 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/classify"
+	"repro/internal/ilp"
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/profiler"
+	"repro/internal/program"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vpsim"
+	"repro/internal/workload"
+)
+
+// EvaluateRequest is the body of POST /v1/jobs and POST /v1/evaluate: run
+// one program through one predictor/classifier configuration and return the
+// outcome statistics. Exactly one of Bench (a named synthetic benchmark) or
+// Program (the fingerprint id of a previously submitted program) selects the
+// program.
+type EvaluateRequest struct {
+	Bench   string `json:"bench,omitempty"`
+	Program string `json:"program,omitempty"`
+	// Seed/Scale parameterize a named benchmark's input (ignored for
+	// submitted programs). Zero seed means the canonical evaluation input.
+	Seed  uint64 `json:"seed,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+
+	// Predictor is "stride" (default) or "lastvalue". Entries is the
+	// prediction-table size (default 512; explicit 0 selects the infinite
+	// table), Assoc the associativity (default 2).
+	Predictor string `json:"predictor,omitempty"`
+	Entries   *int   `json:"entries,omitempty"`
+	Assoc     int    `json:"assoc,omitempty"`
+
+	// Classifier is "fsm" (default, the hardware saturating-counter
+	// baseline) or "profile" (the paper's proposal: profile, annotate at
+	// Threshold, admit only tagged instructions).
+	Classifier string  `json:"classifier,omitempty"`
+	Threshold  float64 `json:"threshold,omitempty"`
+
+	// ILP additionally times the run through the abstract ILP machine
+	// (40-entry window) against a no-prediction baseline of the same
+	// trace.
+	ILP bool `json:"ilp,omitempty"`
+}
+
+// normalize applies defaults in place.
+func (r *EvaluateRequest) normalize() {
+	if r.Predictor == "" {
+		r.Predictor = "stride"
+	}
+	if r.Entries == nil {
+		n := predictor.DefaultTableConfig.Entries
+		r.Entries = &n
+	}
+	if r.Assoc == 0 {
+		r.Assoc = predictor.DefaultTableConfig.Assoc
+	}
+	if r.Classifier == "" {
+		r.Classifier = "fsm"
+	}
+	if r.Threshold == 0 {
+		r.Threshold = annotate.DefaultOptions.AccuracyThreshold
+	}
+	if r.Scale <= 0 {
+		r.Scale = 1
+	}
+}
+
+// validate rejects malformed requests before they reach the queue.
+func (r *EvaluateRequest) validate() error {
+	if (r.Bench == "") == (r.Program == "") {
+		return fmt.Errorf("exactly one of \"bench\" or \"program\" must be set")
+	}
+	if r.Bench != "" {
+		if _, ok := workload.ByName(r.Bench); !ok {
+			return fmt.Errorf("unknown benchmark %q (have %v)", r.Bench, workload.AllNames())
+		}
+	}
+	switch r.Predictor {
+	case "stride", "lastvalue":
+	default:
+		return fmt.Errorf("unknown predictor %q (want stride or lastvalue)", r.Predictor)
+	}
+	switch r.Classifier {
+	case "fsm", "profile":
+	default:
+		return fmt.Errorf("unknown classifier %q (want fsm or profile)", r.Classifier)
+	}
+	if *r.Entries < 0 {
+		return fmt.Errorf("entries must be ≥ 0 (0 = infinite table)")
+	}
+	if *r.Entries > 0 && r.Assoc <= 0 {
+		return fmt.Errorf("assoc must be positive for a finite table")
+	}
+	if r.Threshold < 0 || r.Threshold > 100 {
+		return fmt.Errorf("threshold %g outside [0,100]", r.Threshold)
+	}
+	return nil
+}
+
+// configKey is the canonical predictor-configuration part of a result-cache
+// key. Two normalized requests with equal configKeys are guaranteed to
+// produce identical results for the same program.
+func (r *EvaluateRequest) configKey() string {
+	key := fmt.Sprintf("%s/e%d/a%d/%s", r.Predictor, *r.Entries, r.Assoc, r.Classifier)
+	if r.Classifier == "profile" {
+		key += fmt.Sprintf("/t%g", r.Threshold)
+	}
+	if r.ILP {
+		key += "/ilp"
+	}
+	return key
+}
+
+// predictorKind maps the request predictor name.
+func (r *EvaluateRequest) predictorKind() predictor.Kind {
+	if r.Predictor == "lastvalue" {
+		return predictor.LastValue
+	}
+	return predictor.Stride
+}
+
+// newStore builds a fresh prediction table for one replay.
+func (r *EvaluateRequest) newStore() (predictor.Store, error) {
+	if *r.Entries == 0 {
+		return predictor.NewInfinite(r.predictorKind()), nil
+	}
+	return predictor.NewTable(r.predictorKind(), predictor.TableConfig{Entries: *r.Entries, Assoc: r.Assoc})
+}
+
+// JobStatus is the lifecycle of a job.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// job is one queued evaluate request. The pool goroutines write result
+// fields before closing done; readers must select on done (or Wait) first.
+type job struct {
+	id  string
+	req EvaluateRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	enqueued time.Time
+	done     chan struct{}
+
+	// Written by the worker before close(done), immutable afterwards;
+	// readers reach them only after observing done closed (a
+	// happens-before edge), so no lock is needed.
+	result   *report.Run
+	err      error
+	cacheHit bool
+
+	// mu guards the timestamps, which pollers read while the worker is
+	// still writing them.
+	mu       sync.Mutex
+	started  time.Time
+	finished time.Time
+}
+
+// markStarted stamps worker pickup and returns the time.
+func (j *job) markStarted() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.started = time.Now()
+	return j.started
+}
+
+// markFinished stamps completion and returns the time.
+func (j *job) markFinished() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	return j.finished
+}
+
+// times returns the start/finish stamps (zero if not reached).
+func (j *job) times() (started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started, j.finished
+}
+
+// Wait blocks until the job finished or ctx is cancelled.
+func (j *job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status derives the externally visible state.
+func (j *job) Status() JobStatus {
+	select {
+	case <-j.done:
+		if j.err != nil {
+			return StatusFailed
+		}
+		return StatusDone
+	default:
+		if started, _ := j.times(); !started.IsZero() {
+			return StatusRunning
+		}
+		return StatusQueued
+	}
+}
+
+// annotation is a cached profile→annotate product: the per-address directive
+// table the replay patches in, plus the pass statistics for the report.
+type annotation struct {
+	dirs  []isa.Directive
+	stats annotate.Stats
+}
+
+// run executes one job on a worker goroutine: resolve the program, record
+// (or reuse) its trace, annotate if profile-classified, replay through a
+// fresh engine, and assemble the report. Cancellation is honored at stage
+// boundaries — individual stages are at most one benchmark execution long.
+func (s *Server) run(j *job) {
+	started := j.markStarted()
+	s.metrics.ObserveStage(stageQueueWait, started.Sub(j.enqueued))
+	defer func() {
+		finished := j.markFinished()
+		s.metrics.ObserveStage(stageTotal, finished.Sub(j.enqueued))
+		if j.err != nil {
+			if j.ctx.Err() != nil {
+				s.metrics.JobsTimedOut.Add(1)
+			}
+			s.metrics.JobsFailed.Add(1)
+		} else {
+			s.metrics.JobsCompleted.Add(1)
+		}
+		j.cancel()
+		close(j.done)
+	}()
+
+	if err := j.ctx.Err(); err != nil {
+		j.err = fmt.Errorf("cancelled while queued: %w", err)
+		return
+	}
+	j.result, j.cacheHit, j.err = s.evaluate(j.ctx, &j.req)
+}
+
+// evaluate is the cache-aware pipeline entry. It is also what the
+// server-throughput benchmark drives directly.
+func (s *Server) evaluate(ctx context.Context, req *EvaluateRequest) (*report.Run, bool, error) {
+	t0 := time.Now()
+	p, input, err := s.resolveProgram(req)
+	if err != nil {
+		return nil, false, err
+	}
+	fp, err := workload.FingerprintOf(p)
+	if err != nil {
+		return nil, false, err
+	}
+	s.metrics.ObserveStage(stageResolve, time.Since(t0))
+
+	key := fp + "|" + req.configKey()
+	res, hit, err := s.results.Do(key, func() (*report.Run, error) {
+		return s.compute(ctx, p, fp, input, req)
+	})
+	return res, hit, err
+}
+
+// resolveProgram maps a request to an executable image: build the named
+// benchmark for its input, or look up a submitted program by fingerprint.
+func (s *Server) resolveProgram(req *EvaluateRequest) (*program.Program, workload.Input, error) {
+	if req.Bench != "" {
+		in := workload.EvaluationInput()
+		if req.Seed != 0 {
+			in = workload.Input{Seed: req.Seed, Scale: req.Scale}
+		}
+		p, err := workload.Build(req.Bench, in)
+		return p, in, err
+	}
+	p, ok := s.programs.Get(req.Program)
+	if !ok {
+		return nil, workload.Input{}, fmt.Errorf("unknown program %q (submit it via POST /v1/programs first)", req.Program)
+	}
+	return p, workload.Input{}, nil
+}
+
+// compute runs the uncached pipeline for one (program, config) pair.
+func (s *Server) compute(ctx context.Context, p *program.Program, fp string, input workload.Input, req *EvaluateRequest) (*report.Run, error) {
+	rec, err := s.recordedTrace(p, fp)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var anno *annotation
+	if req.Classifier == "profile" {
+		if anno, err = s.annotation(p, fp, req); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	t0 := time.Now()
+	store, err := req.newStore()
+	if err != nil {
+		return nil, err
+	}
+	var engine *vpsim.Engine
+	if req.Classifier == "profile" {
+		engine = vpsim.NewProfileEngine(store)
+	} else {
+		pol, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
+		if err != nil {
+			return nil, err
+		}
+		engine = vpsim.NewFSMEngine(store, pol)
+	}
+
+	out := &report.Run{
+		Program:     p.Name,
+		Fingerprint: fp,
+		Classifier:  req.Classifier,
+		Predictor:   report.Predictor{Kind: req.Predictor, Entries: *req.Entries, Assoc: req.Assoc},
+	}
+	if req.Bench != "" {
+		out.Input = input.String()
+	}
+	if anno != nil {
+		out.Threshold = req.Threshold
+		out.SetAnnotation(anno.stats)
+	}
+
+	replay := func(consumers ...trace.Consumer) {
+		if anno != nil {
+			rec.ReplayDirs(anno.dirs, consumers...)
+		} else {
+			rec.Replay(consumers...)
+		}
+	}
+	if req.ILP {
+		vp, err := ilp.New(ilp.DefaultConfig, engine)
+		if err != nil {
+			return nil, err
+		}
+		replay(vp)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		base, err := ilp.New(ilp.DefaultConfig, nil)
+		if err != nil {
+			return nil, err
+		}
+		rec.Replay(base)
+		baseRes := base.Result()
+		out.SetILP(vp.Result(), &baseRes)
+	} else {
+		replay(engine)
+	}
+	out.Instructions = rec.Len()
+	out.SetStats(engine.Stats())
+	s.metrics.ObserveStage(stageReplay, time.Since(t0))
+	return out, nil
+}
+
+// recordedTrace executes the program once and seals the recorded stream;
+// repeated requests for the same fingerprint replay the cached trace.
+func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, error) {
+	rec, _, err := s.traces.Do(fp, func() (*trace.Recorder, error) {
+		t0 := time.Now()
+		rec := trace.NewRecorder()
+		if _, err := workload.Run(p, rec); err != nil {
+			return nil, err
+		}
+		// Seal before the cache publishes the recorder to other
+		// goroutines: concurrent replays are safe, further recording
+		// panics.
+		rec.Seal()
+		s.metrics.ObserveStage(stageRecord, time.Since(t0))
+		return rec, nil
+	})
+	return rec, err
+}
+
+// annotation returns the directive table for a profile-classified run.
+// Named benchmarks follow the paper's flow — profile under n disjoint
+// training inputs, merge, annotate at the threshold. Submitted programs have
+// no input parameterization, so they are self-profiled from their own
+// recorded trace (documented in DESIGN.md §8).
+func (s *Server) annotation(p *program.Program, fp string, req *EvaluateRequest) (*annotation, error) {
+	key := fmt.Sprintf("%s|t%g", fp, req.Threshold)
+	anno, _, err := s.annos.Do(key, func() (*annotation, error) {
+		t0 := time.Now()
+		im, err := s.profileImage(p, fp, req)
+		if err != nil {
+			return nil, err
+		}
+		opts := annotate.DefaultOptions
+		opts.AccuracyThreshold = req.Threshold
+		ap, st, err := annotate.Apply(p, im, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.ObserveStage(stageAnnotate, time.Since(t0))
+		return &annotation{dirs: trace.DirsOf(ap.Text), stats: st}, nil
+	})
+	return anno, err
+}
+
+// profileImage produces the merged training profile for a benchmark, or the
+// self-profile for a submitted program. Benchmarks key by name — the
+// training inputs are fixed, so every evaluation seed of one benchmark
+// shares a single merged profile, exactly like the paper's one-image flow.
+func (s *Server) profileImage(p *program.Program, fp string, req *EvaluateRequest) (*profiler.Image, error) {
+	imageKey := "self/" + fp
+	if req.Bench != "" {
+		imageKey = "train/" + req.Bench
+	}
+	im, _, err := s.images.Do(imageKey, func() (*profiler.Image, error) {
+		if req.Bench != "" {
+			ims := make([]*profiler.Image, 0, s.cfg.TrainInputs)
+			for _, in := range workload.TrainingInputs(s.cfg.TrainInputs) {
+				col := profiler.NewCollector()
+				if _, err := workload.BuildAndRun(req.Bench, in, col); err != nil {
+					return nil, fmt.Errorf("profile %s under %s: %w", req.Bench, in, err)
+				}
+				ims = append(ims, col.Image(req.Bench, in.String()))
+			}
+			return profiler.Merge(ims...)
+		}
+		rec, err := s.recordedTrace(p, fp)
+		if err != nil {
+			return nil, err
+		}
+		col := profiler.NewCollector()
+		rec.Replay(col)
+		return col.Image(p.Name, "self"), nil
+	})
+	return im, err
+}

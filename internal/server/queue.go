@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file implements the bounded job queue and worker pool. Submission is
+// non-blocking — a full queue rejects immediately (the HTTP layer maps that
+// to 503 + Retry-After) rather than building an unbounded backlog. Shutdown
+// is graceful: intake closes, workers drain every queued job, and if the
+// drain deadline passes the base context is cancelled so in-flight jobs stop
+// at their next stage boundary.
+
+var (
+	// ErrQueueFull is returned by Submit when the queue is at capacity.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrShuttingDown is returned by Submit after Shutdown began.
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// pool runs queued jobs on a fixed set of worker goroutines.
+type pool struct {
+	jobs    chan *job
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newPool starts workers goroutines consuming a queue of the given depth.
+// run is the per-job work function (Server.run).
+func newPool(workers, depth int, run func(*job)) *pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &pool{
+		jobs:    make(chan *job, depth),
+		baseCtx: ctx,
+		abort:   cancel,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				run(j)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job without blocking.
+func (p *pool) submit(j *job) error {
+	// Hold the lock across the send: otherwise Shutdown could observe an
+	// empty channel, close it, and a concurrent submit would panic on
+	// send-on-closed-channel.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth reports the number of queued (not yet picked up) jobs.
+func (p *pool) depth() int { return len(p.jobs) }
+
+// shutdown closes intake and drains: queued jobs still run to completion.
+// If ctx expires first, the base context is cancelled — in-flight jobs
+// observe it at their next stage boundary and fail with ctx.Err() — and
+// shutdown keeps waiting for the workers to return. The returned error
+// reports whether a hard abort was needed.
+func (p *pool) shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.abort()
+		<-done
+		return fmt.Errorf("server: drain deadline passed, in-flight jobs cancelled: %w", ctx.Err())
+	}
+}

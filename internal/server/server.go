@@ -1,0 +1,439 @@
+// Package server implements vpserve, the profiling-as-a-service daemon: a
+// JSON HTTP API over the repository's profile → classify → annotate →
+// evaluate pipeline. Submitted work flows through a bounded job queue into a
+// worker pool; results, recorded traces, profile images and annotations are
+// memoized in fingerprint-keyed LRU caches with single-flight deduplication,
+// so a program is executed once and replayed for every configuration — the
+// PR-1 record-once/replay-many cache amortized across a long-lived process.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness
+//	GET  /metrics            queue depth, cache hit rates, latency histograms
+//	POST /v1/programs        submit an assembly source or .vpimg (base64)
+//	GET  /v1/programs/{id}   describe a submitted program
+//	POST /v1/jobs            enqueue an evaluate job (async)
+//	GET  /v1/jobs/{id}       poll job status / fetch result
+//	POST /v1/evaluate        enqueue and wait (sync convenience)
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/profiler"
+	"repro/internal/program"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config sizes the daemon. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue (default 64).
+	QueueDepth int
+	// RequestTimeout bounds one job from enqueue to completion,
+	// queue wait included (default 60s).
+	RequestTimeout time.Duration
+	// TrainInputs is n, the number of training inputs profiled for
+	// profile-classified benchmark runs (default 5, the paper's n).
+	TrainInputs int
+	// ResultCache / TraceCache / ImageCache / AnnoCache / ProgramCache
+	// bound the LRU caches, in entries (defaults 1024, 32, 64, 256, 128).
+	ResultCache  int
+	TraceCache   int
+	ImageCache   int
+	AnnoCache    int
+	ProgramCache int
+	// MaxJobs bounds the finished-job registry (default 4096).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Workers, runtime.GOMAXPROCS(0))
+	def(&c.QueueDepth, 64)
+	def(&c.TrainInputs, workloadDefaultTrainInputs)
+	def(&c.ResultCache, 1024)
+	def(&c.TraceCache, 32)
+	def(&c.ImageCache, 64)
+	def(&c.AnnoCache, 256)
+	def(&c.ProgramCache, 128)
+	def(&c.MaxJobs, 4096)
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// workloadDefaultTrainInputs mirrors experiments.DefaultTrainInputs without
+// importing the experiments package (which would pull every paper driver
+// into the server binary).
+const workloadDefaultTrainInputs = 5
+
+// Server is the daemon state. Create with New, serve via Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	metrics *Metrics
+
+	results  *Cache[*report.Run]
+	traces   *Cache[*trace.Recorder]
+	images   *Cache[*profiler.Image]
+	annos    *Cache[*annotation]
+	programs *Cache[*program.Program]
+
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for bounded retention
+	nextID int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  NewMetrics(),
+		results:  NewCache[*report.Run](cfg.ResultCache),
+		traces:   NewCache[*trace.Recorder](cfg.TraceCache),
+		images:   NewCache[*profiler.Image](cfg.ImageCache),
+		annos:    NewCache[*annotation](cfg.AnnoCache),
+		programs: NewCache[*program.Program](cfg.ProgramCache),
+		jobs:     make(map[string]*job),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.run)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/programs", s.handleSubmitProgram)
+	s.mux.HandleFunc("GET /v1/programs/{id}", s.handleGetProgram)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the queue gracefully: intake stops, queued and in-flight
+// jobs complete. If ctx expires first, in-flight jobs are cancelled via
+// their context and the error reports the hard abort.
+func (s *Server) Shutdown(ctx context.Context) error { return s.pool.shutdown(ctx) }
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := MetricsSnapshot{
+		QueueDepth:    s.pool.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		JobsCompleted: s.metrics.JobsCompleted.Load(),
+		JobsFailed:    s.metrics.JobsFailed.Load(),
+		JobsRejected:  s.metrics.JobsRejected.Load(),
+		JobsTimedOut:  s.metrics.JobsTimedOut.Load(),
+		Caches: map[string]CacheStats{
+			"results":  s.results.Stats(),
+			"traces":   s.traces.Stats(),
+			"images":   s.images.Stats(),
+			"annos":    s.annos.Stats(),
+			"programs": s.programs.Stats(),
+		},
+		Stages: make(map[string]HistogramSnapshot, len(stageNames)),
+	}
+	for _, name := range stageNames {
+		snap.Stages[name] = s.metrics.Stage(name).Snapshot()
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// SubmitProgramRequest is the body of POST /v1/programs. Exactly one of
+// Source (assembly text, assembled server-side via internal/asm) or
+// ImageBase64 (a serialized .vpimg) must be set.
+type SubmitProgramRequest struct {
+	// Name labels an assembly submission (default "uploaded").
+	Name        string `json:"name,omitempty"`
+	Source      string `json:"source,omitempty"`
+	ImageBase64 string `json:"image_base64,omitempty"`
+}
+
+// ProgramInfo describes a registered program.
+type ProgramInfo struct {
+	ID           string `json:"id"`
+	Name         string `json:"name"`
+	Instructions int    `json:"instructions"`
+	DataWords    int    `json:"data_words"`
+}
+
+func (s *Server) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
+	var req SubmitProgramRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Source == "") == (req.ImageBase64 == "") {
+		writeError(w, http.StatusBadRequest, errors.New("exactly one of \"source\" or \"image_base64\" must be set"))
+		return
+	}
+	var p *program.Program
+	var err error
+	if req.Source != "" {
+		name := req.Name
+		if name == "" {
+			name = "uploaded"
+		}
+		p, err = asm.Assemble(name, req.Source)
+	} else {
+		var raw []byte
+		if raw, err = base64.StdEncoding.DecodeString(req.ImageBase64); err == nil {
+			p, err = program.Read(bytes.NewReader(raw))
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	fp, err := workload.FingerprintOf(p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Register through the cache's single-flight: identical concurrent
+	// submissions converge on one stored image.
+	stored, _, err := s.programs.Do(fp, func() (*program.Program, error) { return p, nil })
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ProgramInfo{
+		ID:           fp,
+		Name:         stored.Name,
+		Instructions: len(stored.Text),
+		DataWords:    len(stored.Data),
+	})
+}
+
+func (s *Server) handleGetProgram(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, ok := s.programs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown program %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, ProgramInfo{
+		ID:           id,
+		Name:         p.Name,
+		Instructions: len(p.Text),
+		DataWords:    len(p.Data),
+	})
+}
+
+// JobResponse is the status envelope of /v1/jobs and /v1/evaluate.
+type JobResponse struct {
+	ID       string      `json:"id"`
+	Status   JobStatus   `json:"status"`
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	QueuedMS float64     `json:"queued_ms,omitempty"`
+	RunMS    float64     `json:"run_ms,omitempty"`
+	Result   *report.Run `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+func (s *Server) jobResponse(j *job) JobResponse {
+	resp := JobResponse{ID: j.id, Status: j.Status()}
+	switch resp.Status {
+	case StatusDone:
+		resp.Result = j.result
+		resp.CacheHit = j.cacheHit
+	case StatusFailed:
+		resp.Error = j.err.Error()
+	}
+	if started, finished := j.times(); !started.IsZero() {
+		resp.QueuedMS = ms(started.Sub(j.enqueued))
+		if !finished.IsZero() {
+			resp.RunMS = ms(finished.Sub(started))
+		}
+	}
+	return resp
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// newJob validates, registers and enqueues a request.
+func (s *Server) newJob(req EvaluateRequest) (*job, error) {
+	req.normalize()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(s.pool.baseCtx, s.cfg.RequestTimeout)
+	j := &job{
+		req:      req,
+		ctx:      ctx,
+		cancel:   cancel,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+
+	if err := s.pool.submit(j); err != nil {
+		s.metrics.JobsRejected.Add(1)
+		cancel()
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// evictJobsLocked drops the oldest finished jobs beyond MaxJobs. Active jobs
+// are never dropped.
+func (s *Server) evictJobsLocked() {
+	for len(s.order) > s.cfg.MaxJobs {
+		dropped := false
+		for i, id := range s.order {
+			j, ok := s.jobs[id]
+			if !ok {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = true
+				break
+			}
+			select {
+			case <-j.done:
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = true
+			default:
+				continue
+			}
+			break
+		}
+		if !dropped {
+			return // everything retained is still active
+		}
+	}
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.newJob(req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobResponse(j))
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobResponse(j))
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.newJob(req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if err := j.Wait(r.Context()); err != nil {
+		// Client went away; the job keeps running and lands in the cache.
+		writeError(w, http.StatusRequestTimeout, err)
+		return
+	}
+	resp := s.jobResponse(j)
+	if resp.Status == StatusFailed {
+		code := http.StatusInternalServerError
+		if errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, resp)
+		return
+	}
+	if resp.CacheHit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSubmitError maps submission failures: queue pressure → 503,
+// validation → 400.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// decodeJSON strictly decodes a request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -17,10 +17,19 @@ const recorderChunkSize = 1 << 14
 // Recorder is a Consumer that captures the stream for later replay.
 // Recording is single-threaded (one producer), but a finished Recorder is
 // immutable and Replay/ReplayDirs may be called concurrently from multiple
-// goroutines.
+// goroutines. Owners that share a Recorder across goroutines (the
+// experiments context, the vpserve trace cache) must Seal it first: sealing
+// marks recording complete, turns any further Consume into a panic, and
+// documents the immutability the concurrent replays rely on. Replay hands
+// records out by pointer into the shared buffer — consumers must treat them
+// as read-only for the duration of the Consume call (the same contract as a
+// live run); a consumer that wrote through the pointer would corrupt every
+// other replay, and the -race stress tests in internal/experiments exist to
+// catch any such consumer.
 type Recorder struct {
 	chunks [][]Record
 	n      int64
+	sealed bool
 }
 
 // NewRecorder returns an empty trace recorder.
@@ -34,8 +43,21 @@ func (rc *Recorder) Bytes() int64 {
 	return int64(len(rc.chunks)) * recorderChunkSize * 56
 }
 
+// Seal marks recording complete. A sealed Recorder is immutable — Consume
+// panics — and may be replayed concurrently from any number of goroutines.
+// Sealing is idempotent. The caller must establish a happens-before edge
+// between Seal and the first concurrent Replay (publishing the Recorder
+// through a mutex-guarded cache, a channel, or sync.Once all qualify).
+func (rc *Recorder) Seal() { rc.sealed = true }
+
+// Sealed reports whether the Recorder has been sealed.
+func (rc *Recorder) Sealed() bool { return rc.sealed }
+
 // Consume implements Consumer by appending a copy of r.
 func (rc *Recorder) Consume(r *Record) {
+	if rc.sealed {
+		panic("trace: Consume on a sealed Recorder (recording after publication)")
+	}
 	i := int(rc.n % recorderChunkSize)
 	if i == 0 {
 		rc.chunks = append(rc.chunks, make([]Record, recorderChunkSize))

@@ -138,3 +138,31 @@ func TestDirsOf(t *testing.T) {
 		t.Fatalf("DirsOf = %v, want %v", got, want)
 	}
 }
+
+func TestRecorderSeal(t *testing.T) {
+	rc := NewRecorder()
+	r := synthRecord(1)
+	rc.Consume(&r)
+	if rc.Sealed() {
+		t.Fatal("new recorder already sealed")
+	}
+	rc.Seal()
+	rc.Seal() // idempotent
+	if !rc.Sealed() {
+		t.Fatal("Seal did not stick")
+	}
+	// Replay still works after sealing.
+	var got capture
+	rc.Replay(&got)
+	if len(got.recs) != 1 || got.recs[0] != r {
+		t.Fatalf("replay after seal: got %+v", got.recs)
+	}
+	// Recording after sealing must panic, not silently mutate the shared
+	// buffer.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Consume on a sealed recorder did not panic")
+		}
+	}()
+	rc.Consume(&r)
+}

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Runs the key simulation-throughput benchmarks with -benchmem and emits a
-# machine-readable BENCH_report.json (one entry per benchmark) so the perf
-# trajectory can be tracked across PRs. Usage:
+# machine-readable BENCH_report.json so the perf trajectory can be tracked
+# across PRs. The report has two sections: "benchmarks" (simulation
+# substrate + experiment drivers) and "server" (vpserve throughput,
+# requests/sec for cached vs uncached evaluate calls). Usage:
 #
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCHTIME   go test -benchtime value (default 1s)
-#   BENCHMARKS  benchmark selection regex (default: the substrate + driver set)
+#   BENCHTIME         go test -benchtime value (default 1s)
+#   BENCHMARKS        simulation benchmark regex (default: substrate + drivers)
+#   SERVER_BENCHMARKS server benchmark regex (default: the vpserve set)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,27 +18,25 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_report.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
+SERVER_BENCHMARKS="${SERVER_BENCHMARKS:-^(BenchmarkServerEvaluateCached|BenchmarkServerEvaluateCachedParallel|BenchmarkServerEvaluateUncached)\$}"
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW_SIM="$(mktemp)"
+RAW_SRV="$(mktemp)"
+trap 'rm -f "$RAW_SIM" "$RAW_SRV"' EXIT
 
-go test -run '^$' -bench "$BENCHMARKS" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench "$BENCHMARKS" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW_SIM"
+go test -run '^$' -bench "$SERVER_BENCHMARKS" -benchmem -benchtime "$BENCHTIME" ./internal/server | tee "$RAW_SRV"
 
-# Convert `go test -bench` output lines into JSON:
+# Convert `go test -bench` output lines into a JSON array body:
 #   BenchmarkFoo/bar-8  10  123 ns/op  45.6 Minstr/s  678 B/op  9 allocs/op
-awk '
-BEGIN {
-    print "{"
-    printf "  \"schema\": \"bench-report/v1\",\n"
-    printf "  \"benchmarks\": [\n"
-    first = 1
-}
+emit_entries() {
+    awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     iters = $2
-    if (!first) printf ",\n"
-    first = 0
+    if (first_done) printf ",\n"
+    first_done = 1
     printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
     for (i = 3; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
@@ -44,9 +45,20 @@ BEGIN {
     }
     printf "}"
 }
-END {
-    printf "\n  ]\n}\n"
+END { printf "\n" }
+' "$1"
 }
-' "$RAW" > "$OUT"
+
+{
+    echo "{"
+    echo "  \"schema\": \"bench-report/v2\","
+    echo "  \"benchmarks\": ["
+    emit_entries "$RAW_SIM"
+    echo "  ],"
+    echo "  \"server\": ["
+    emit_entries "$RAW_SRV"
+    echo "  ]"
+    echo "}"
+} > "$OUT"
 
 echo "wrote $OUT"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# vpserve smoke test: build the daemon, start it, hit /healthz, run one
+# evaluate request, verify the repeat is a cache hit, check /metrics, and
+# confirm SIGTERM drains cleanly. Used by the CI smoke job and runnable
+# locally:
+#
+#   scripts/smoke_server.sh [port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${1:-${PORT:-18080}}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+trap 'kill -TERM "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/vpserve" ./cmd/vpserve
+"$WORK/vpserve" -addr "127.0.0.1:$PORT" >"$WORK/log" 2>&1 &
+PID=$!
+
+# Wait for liveness.
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$PID" 2>/dev/null || { echo "vpserve exited early:"; cat "$WORK/log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "vpserve never became healthy:"; cat "$WORK/log"; exit 1; }
+curl -fsS "$BASE/healthz" | grep -q '"ok"' || { echo "healthz body unexpected"; exit 1; }
+
+# One evaluate request, end to end.
+BODY='{"bench":"compress","classifier":"profile","threshold":80}'
+curl -fsS -X POST -d "$BODY" "$BASE/v1/evaluate" -o "$WORK/r1"
+grep -q '"status": "done"' "$WORK/r1" || { echo "evaluate not done:"; cat "$WORK/r1"; exit 1; }
+grep -q '"program": "compress"' "$WORK/r1" || { echo "evaluate wrong program:"; cat "$WORK/r1"; exit 1; }
+
+# The identical repeat must be a cache hit.
+curl -fsS -D "$WORK/hdrs" -X POST -d "$BODY" "$BASE/v1/evaluate" -o "$WORK/r2"
+grep -qi '^X-Cache: hit' "$WORK/hdrs" || { echo "repeat was not a cache hit:"; cat "$WORK/hdrs"; exit 1; }
+
+# Metrics reflect the work.
+curl -fsS "$BASE/metrics" -o "$WORK/metrics"
+grep -q '"jobs_completed": 2' "$WORK/metrics" || { echo "metrics unexpected:"; cat "$WORK/metrics"; exit 1; }
+
+# SIGTERM drains cleanly (exit 0).
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "vpserve exited non-zero on SIGTERM:"; cat "$WORK/log"; exit 1
+fi
+grep -q "drained cleanly" "$WORK/log" || { echo "no clean-drain message:"; cat "$WORK/log"; exit 1; }
+trap 'rm -rf "$WORK"' EXIT
+
+echo "vpserve smoke OK"
