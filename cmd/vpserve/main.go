@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -42,8 +43,36 @@ func main() {
 		train   = flag.Int("train", 0, "training inputs for profile-classified benchmark runs (0 = paper's n=5)")
 		results = flag.Int("result-cache", 1024, "result-cache entries")
 		traces  = flag.Int("trace-cache", 32, "trace-cache entries (each can hold a full benchmark trace)")
+
+		maxSteps  = flag.Int64("max-steps", 0, "guest sandbox: max retired instructions per run (0 = default, -1 = unlimited)")
+		maxMem    = flag.Int64("max-mem", 0, "guest sandbox: max data-memory words per run (0 = default, -1 = unlimited)")
+		maxEvents = flag.Int64("max-trace-events", 0, "guest sandbox: max trace events per run (0 = default, -1 = unlimited)")
+		faultSpec = flag.String("faults", "", "arm a fault-injection plan, e.g. 'server.record:error:n=1' (also via VP_FAULTS; see internal/faults)")
 	)
 	flag.Parse()
+
+	if *faultSpec == "" {
+		*faultSpec = os.Getenv("VP_FAULTS")
+	}
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			log.Fatalf("vpserve: -faults: %v", err)
+		}
+		faults.Enable(plan)
+		log.Printf("vpserve: fault injection ARMED: %s", *faultSpec)
+	}
+
+	limits := server.DefaultLimits
+	if *maxSteps != 0 {
+		limits.MaxSteps = *maxSteps
+	}
+	if *maxMem != 0 {
+		limits.MaxMem = *maxMem
+	}
+	if *maxEvents != 0 {
+		limits.MaxTraceEvents = *maxEvents
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -52,6 +81,7 @@ func main() {
 		TrainInputs:    *train,
 		ResultCache:    *results,
 		TraceCache:     *traces,
+		Limits:         limits,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,434 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// fakeClock drives Config.now/sleep so breaker cooldowns and backoff are
+// deterministic: sleeping advances the clock.
+type fakeClock struct {
+	mu     sync.Mutex
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) sleep(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+	f.sleeps = append(f.sleeps, d)
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func (f *fakeClock) sleepLog() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.sleeps...)
+}
+
+// newClient wires a Client to ts with a fake clock and fixed seed.
+func newClient(ts *httptest.Server, clk *fakeClock, mut func(*Config)) *Client {
+	cfg := Config{
+		BaseURL: ts.URL,
+		Seed:    7,
+		sleep:   clk.sleep,
+		now:     clk.now,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return New(cfg)
+}
+
+func okJob(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(`{"id":"job-1","status":"done"}`))
+}
+
+func fail(w http.ResponseWriter, code int, retryAfter string) {
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write([]byte(`{"error":"injected"}`))
+}
+
+func TestRetryThenSuccess(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 2 {
+			fail(w, http.StatusServiceUnavailable, "")
+			return
+		}
+		okJob(w)
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, nil)
+	res, err := c.Evaluate(context.Background(), server.EvaluateRequest{Bench: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale || res.Attempts != 3 || res.ID != "job-1" {
+		t.Fatalf("res = %+v", res)
+	}
+	sleeps := clk.sleepLog()
+	if len(sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sleeps))
+	}
+	base, cap := 50*time.Millisecond, 2*time.Second
+	prev := base
+	for i, d := range sleeps {
+		if d < base || d > cap {
+			t.Fatalf("sleep %d = %v outside [%v, %v]", i, d, base, cap)
+		}
+		if hi := 3 * prev; d > hi {
+			t.Fatalf("sleep %d = %v exceeds decorrelated bound %v", i, d, hi)
+		}
+		prev = d
+	}
+}
+
+func TestRetryDeterministicBackoff(t *testing.T) {
+	run := func() []time.Duration {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fail(w, http.StatusInternalServerError, "")
+		}))
+		defer ts.Close()
+		clk := newFakeClock()
+		c := newClient(ts, clk, func(cfg *Config) { cfg.FailureThreshold = -1 })
+		_, err := c.Evaluate(context.Background(), server.EvaluateRequest{Bench: "compress"})
+		if err == nil {
+			t.Fatal("expected failure")
+		}
+		return clk.sleepLog()
+	}
+	a, b := run(), run()
+	if len(a) != 4 { // MaxRetries=4 → 4 sleeps between 5 attempts
+		t.Fatalf("slept %d times, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different backoff: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			fail(w, http.StatusServiceUnavailable, "3")
+			return
+		}
+		okJob(w)
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, nil)
+	if _, err := c.Evaluate(context.Background(), server.EvaluateRequest{Bench: "compress"}); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := clk.sleepLog()
+	if len(sleeps) != 1 || sleeps[0] < 3*time.Second {
+		t.Fatalf("Retry-After: 3 not honored: slept %v", sleeps)
+	}
+}
+
+func TestNoRetryOnValidationError(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fail(w, http.StatusUnprocessableEntity, "")
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, nil)
+	_, err := c.Evaluate(context.Background(), server.EvaluateRequest{Bench: "compress"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v", err)
+	}
+	if hits != 1 {
+		t.Fatalf("deterministic 422 retried: %d hits", hits)
+	}
+	if len(clk.sleepLog()) != 0 {
+		t.Fatal("slept before a non-retryable error")
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	hits, healthy := 0, false
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		ok := healthy
+		mu.Unlock()
+		if ok {
+			okJob(w)
+		} else {
+			fail(w, http.StatusInternalServerError, "")
+		}
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) {
+		cfg.MaxRetries = -1 // one attempt per call: breaker counts calls
+		cfg.FailureThreshold = 3
+		cfg.Cooldown = 5 * time.Second
+	})
+
+	ctx := context.Background()
+	req := server.EvaluateRequest{Bench: "compress"}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Evaluate(ctx, req); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("hits = %d before breaker opened", hits)
+	}
+	// Breaker open: fails fast without touching the server.
+	if _, err := c.Evaluate(ctx, req); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if hits != 3 {
+		t.Fatalf("open breaker still hit server (hits = %d)", hits)
+	}
+	// After cooldown one probe goes through; server healthy again → closed.
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	clk.advance(6 * time.Second)
+	res, err := c.Evaluate(ctx, req)
+	if err != nil || res.Stale {
+		t.Fatalf("probe: res=%+v err=%v", res, err)
+	}
+	if hits != 4 {
+		t.Fatalf("hits = %d after probe", hits)
+	}
+	// Closed: subsequent calls flow normally.
+	if _, err := c.Evaluate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 5 {
+		t.Fatalf("hits = %d after recovery", hits)
+	}
+}
+
+func TestCircuitBreakerProbeFailureReopens(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fail(w, http.StatusInternalServerError, "")
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) {
+		cfg.MaxRetries = -1
+		cfg.FailureThreshold = 2
+		cfg.Cooldown = 5 * time.Second
+		cfg.StaleCacheSize = -1
+	})
+	ctx := context.Background()
+	req := server.EvaluateRequest{Bench: "compress"}
+	for i := 0; i < 2; i++ {
+		_, _ = c.Evaluate(ctx, req)
+	}
+	clk.advance(6 * time.Second)
+	// Probe fails → breaker re-opens immediately (one failure, not two).
+	if _, err := c.Evaluate(ctx, req); errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("probe was not admitted: %v", err)
+	}
+	if _, err := c.Evaluate(ctx, req); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker did not re-open after failed probe: %v", err)
+	}
+}
+
+func TestStaleFallbackOnOutage(t *testing.T) {
+	var mu sync.Mutex
+	healthy := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ok := healthy
+		mu.Unlock()
+		if ok {
+			okJob(w)
+		} else {
+			fail(w, http.StatusServiceUnavailable, "")
+		}
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) { cfg.MaxRetries = 1 })
+	ctx := context.Background()
+	req := server.EvaluateRequest{Bench: "compress"}
+
+	res, err := c.Evaluate(ctx, req)
+	if err != nil || res.Stale {
+		t.Fatalf("warm-up: res=%+v err=%v", res, err)
+	}
+
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	res, err = c.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatalf("degraded mode returned error despite cached result: %v", err)
+	}
+	if !res.Stale || res.ID != "job-1" {
+		t.Fatalf("res = %+v, want stale job-1", res)
+	}
+
+	// A request never seen before has nothing to fall back on.
+	_, err = c.Evaluate(ctx, server.EvaluateRequest{Bench: "gcc"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("uncached degraded request: err = %v", err)
+	}
+}
+
+func TestStaleFallbackWhenCircuitOpen(t *testing.T) {
+	var mu sync.Mutex
+	healthy := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ok := healthy
+		mu.Unlock()
+		if ok {
+			okJob(w)
+		} else {
+			fail(w, http.StatusInternalServerError, "")
+		}
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) {
+		cfg.MaxRetries = -1
+		cfg.FailureThreshold = 1
+	})
+	ctx := context.Background()
+	req := server.EvaluateRequest{Bench: "compress"}
+	if _, err := c.Evaluate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	if res, err := c.Evaluate(ctx, req); err != nil || !res.Stale {
+		t.Fatalf("first outage call: res=%+v err=%v", res, err)
+	}
+	// Breaker is now open; the fallback still serves without the server.
+	res, err := c.Evaluate(ctx, req)
+	if err != nil || !res.Stale {
+		t.Fatalf("open-breaker call: res=%+v err=%v", res, err)
+	}
+	if res.Attempts != 0 {
+		t.Fatalf("open breaker made %d attempts", res.Attempts)
+	}
+}
+
+func TestStaleCacheBounded(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okJob(w)
+	}))
+	defer ts.Close()
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) { cfg.StaleCacheSize = 2 })
+	ctx := context.Background()
+	for _, b := range []string{"a", "b", "c"} {
+		if _, err := c.Evaluate(ctx, server.EvaluateRequest{Bench: b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.stale)
+	_, oldest := c.stale[staleKey(server.EvaluateRequest{Bench: "a"})]
+	c.mu.Unlock()
+	if n != 2 || oldest {
+		t.Fatalf("stale cache: %d entries, oldest retained=%v", n, oldest)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fail(w, http.StatusInternalServerError, "")
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) {
+		cfg.sleep = func(d time.Duration) { cancel(); clk.sleep(d) }
+	})
+	_, err := c.Evaluate(ctx, server.EvaluateRequest{Bench: "compress"})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if hits > 2 {
+		t.Fatalf("kept retrying after cancellation: %d hits", hits)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"status":"ok"}`))
+		case "/metrics":
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"workers":4,"jobs_completed":17}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+	clk := newFakeClock()
+	c := newClient(ts, clk, nil)
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Workers != 4 || snap.JobsCompleted != 17 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}

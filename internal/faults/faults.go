@@ -1,0 +1,375 @@
+// Package faults is a deterministic fault-injection registry for chaos
+// testing the profiling service. Production code brackets its failure-prone
+// operations with Inject calls at named points (queue intake, cache fills,
+// pipeline stage boundaries, VM stepping); a test or an operator enables a
+// parsed fault plan, and each matching call site then fails, panics, or
+// stalls according to its rule.
+//
+// Determinism is the point: a rule triggers either on an exact call ordinal
+// ("n=3" fires on the third call to that point) or with a seeded
+// probability ("p=0.2,seed=7" draws from a per-rule PRNG), so a chaos run
+// with a fixed plan replays bit-identically. When no plan is active, Inject
+// is a single atomic pointer load returning nil — the hot paths (the VM
+// dispatch loop snapshots Active once per Run) pay nothing in production.
+//
+// Plan syntax (";"-separated rules, each "point:mode:params"):
+//
+//	server.record:error:n=1              first trace recording fails
+//	server.worker:panic:n=2              second job panics its worker
+//	server.replay:latency:delay=50ms,p=0.5,seed=7
+//	vm.step:error:n=100000               the 100000th VM step faults
+//
+// Modes are "error" (Inject returns an *InjectedError), "panic" (Inject
+// panics with a *PanicValue), and "latency" (Inject sleeps for delay, then
+// returns nil). Points must have been registered by the instrumented
+// packages; Parse rejects unknown names so a typo'd plan fails loudly
+// instead of silently injecting nothing.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is what an armed rule does when it triggers.
+type Mode int
+
+const (
+	// ModeError makes Inject return an *InjectedError.
+	ModeError Mode = iota
+	// ModePanic makes Inject panic with a *PanicValue.
+	ModePanic
+	// ModeLatency makes Inject sleep for the rule's delay.
+	ModeLatency
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeLatency:
+		return "latency"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ErrInjected is the sentinel all injected errors wrap, so callers can
+// classify a failure as synthetic with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// InjectedError is the error Inject returns in ModeError.
+type InjectedError struct {
+	// Point is the injection point that fired.
+	Point string
+	// Call is the 1-based call ordinal at which the rule triggered.
+	Call uint64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("injected fault at %s (call %d)", e.Point, e.Call)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// PanicValue is the value Inject panics with in ModePanic. Recovery code
+// can type-assert it to distinguish injected panics from real bugs.
+type PanicValue struct {
+	Point string
+	Call  uint64
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("injected panic at %s (call %d)", p.Point, p.Call)
+}
+
+// Rule arms one injection point.
+type Rule struct {
+	// Point names the injection point the rule matches.
+	Point string
+	// Mode selects error, panic, or latency.
+	Mode Mode
+	// Delay is the sleep duration for ModeLatency.
+	Delay time.Duration
+	// N, when nonzero, triggers on exactly the Nth call (1-based) to the
+	// point. Mutually exclusive with Prob.
+	N uint64
+	// Prob, when nonzero, triggers each call with this probability drawn
+	// from a PRNG seeded with Seed (deterministic across runs).
+	Prob float64
+	// Seed seeds the per-rule PRNG for Prob triggers.
+	Seed uint64
+}
+
+// rule is an armed Rule plus its trigger state.
+type rule struct {
+	Rule
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls atomic.Uint64
+	fired atomic.Uint64
+}
+
+// shouldFire advances the rule's call count and reports whether this call
+// triggers. It returns the call ordinal for error/panic payloads.
+func (r *rule) shouldFire() (uint64, bool) {
+	call := r.calls.Add(1)
+	if r.N != 0 {
+		if call != r.N {
+			return call, false
+		}
+		r.fired.Add(1)
+		return call, true
+	}
+	r.mu.Lock()
+	hit := r.rng.Float64() < r.Prob
+	r.mu.Unlock()
+	if hit {
+		r.fired.Add(1)
+	}
+	return call, hit
+}
+
+// Plan is a parsed, armable set of rules, at most one per point.
+type Plan struct {
+	rules map[string]*rule
+}
+
+// registry is the set of known injection points, populated by Register calls
+// from the instrumented packages' init functions.
+var (
+	regMu    sync.Mutex
+	registry = map[string]struct{}{}
+)
+
+// Register declares an injection point name. Instrumented packages call it
+// from init so Parse can validate plans and chaos tests can enumerate every
+// point. Registering the same name twice is harmless.
+func Register(points ...string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range points {
+		registry[p] = struct{}{}
+	}
+}
+
+// Points returns every registered injection point, sorted.
+func Points() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for p := range registry {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func registered(point string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	_, ok := registry[point]
+	return ok
+}
+
+// Parse builds a Plan from the ";"-separated rule syntax documented in the
+// package comment. Unknown points, modes, and parameters are errors.
+func Parse(spec string) (*Plan, error) {
+	plan := &Plan{rules: make(map[string]*rule)}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := plan.rules[r.Point]; dup {
+			return nil, fmt.Errorf("faults: duplicate rule for point %q", r.Point)
+		}
+		plan.rules[r.Point] = newRule(r)
+	}
+	if len(plan.rules) == 0 {
+		return nil, errors.New("faults: empty plan")
+	}
+	return plan, nil
+}
+
+// NewPlan builds a Plan from explicit rules (the programmatic equivalent of
+// Parse, used by tests).
+func NewPlan(rules ...Rule) (*Plan, error) {
+	plan := &Plan{rules: make(map[string]*rule, len(rules))}
+	for _, r := range rules {
+		if err := checkRule(r); err != nil {
+			return nil, err
+		}
+		if _, dup := plan.rules[r.Point]; dup {
+			return nil, fmt.Errorf("faults: duplicate rule for point %q", r.Point)
+		}
+		plan.rules[r.Point] = newRule(r)
+	}
+	if len(plan.rules) == 0 {
+		return nil, errors.New("faults: empty plan")
+	}
+	return plan, nil
+}
+
+func newRule(r Rule) *rule {
+	ar := &rule{Rule: r}
+	if r.Prob > 0 {
+		ar.rng = rand.New(rand.NewSource(int64(r.Seed)))
+	}
+	return ar
+}
+
+func checkRule(r Rule) error {
+	if !registered(r.Point) {
+		return fmt.Errorf("faults: unknown injection point %q (have %v)", r.Point, Points())
+	}
+	if (r.N != 0) == (r.Prob != 0) {
+		return fmt.Errorf("faults: rule for %q needs exactly one trigger (n=K or p=P)", r.Point)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("faults: rule for %q probability %g outside [0,1]", r.Point, r.Prob)
+	}
+	if r.Mode == ModeLatency && r.Delay <= 0 {
+		return fmt.Errorf("faults: latency rule for %q needs delay=DUR", r.Point)
+	}
+	if r.Mode != ModeLatency && r.Delay != 0 {
+		return fmt.Errorf("faults: delay is only valid for latency rules (%q)", r.Point)
+	}
+	return nil
+}
+
+func parseRule(s string) (Rule, error) {
+	fields := strings.SplitN(s, ":", 3)
+	if len(fields) < 3 {
+		return Rule{}, fmt.Errorf("faults: rule %q: want point:mode:params", s)
+	}
+	r := Rule{Point: strings.TrimSpace(fields[0])}
+	switch strings.TrimSpace(fields[1]) {
+	case "error":
+		r.Mode = ModeError
+	case "panic":
+		r.Mode = ModePanic
+	case "latency":
+		r.Mode = ModeLatency
+	default:
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown mode %q (want error, panic or latency)", s, fields[1])
+	}
+	for _, kv := range strings.Split(fields[2], ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("faults: rule %q: parameter %q is not key=value", s, kv)
+		}
+		var err error
+		switch k {
+		case "n":
+			r.N, err = strconv.ParseUint(v, 10, 64)
+		case "p":
+			r.Prob, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			r.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "delay":
+			r.Delay, err = time.ParseDuration(v)
+		default:
+			return Rule{}, fmt.Errorf("faults: rule %q: unknown parameter %q", s, k)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("faults: rule %q: bad %s: %v", s, k, err)
+		}
+	}
+	if err := checkRule(r); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// active is the armed plan; nil means injection is off and Inject returns
+// immediately.
+var (
+	active atomic.Pointer[Plan]
+	// totalFired counts injections across all plans ever armed.
+	totalFired atomic.Uint64
+)
+
+// Enable arms a plan process-wide. It replaces any previously armed plan.
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable disarms injection; subsequent Inject calls are no-ops.
+func Disable() { active.Store(nil) }
+
+// Active reports whether a plan is armed. Hot loops snapshot this once and
+// skip their Inject calls entirely when false.
+func Active() bool { return active.Load() != nil }
+
+// Inject consults the armed plan for the named point. It returns nil when
+// injection is off or the point has no rule; otherwise it returns an
+// *InjectedError, panics with a *PanicValue, or sleeps, per the rule's mode
+// and trigger.
+func Inject(point string) error {
+	plan := active.Load()
+	if plan == nil {
+		return nil
+	}
+	r, ok := plan.rules[point]
+	if !ok {
+		return nil
+	}
+	call, fire := r.shouldFire()
+	if !fire {
+		return nil
+	}
+	totalFired.Add(1)
+	switch r.Mode {
+	case ModePanic:
+		panic(&PanicValue{Point: point, Call: call})
+	case ModeLatency:
+		time.Sleep(r.Delay)
+		return nil
+	default:
+		return &InjectedError{Point: point, Call: call}
+	}
+}
+
+// PointStats reports one armed rule's activity.
+type PointStats struct {
+	Calls uint64 `json:"calls"`
+	Fired uint64 `json:"fired"`
+}
+
+// Snapshot returns per-point activity of the armed plan (nil when disabled).
+// The /metrics endpoint reports it so chaos runs can assert every injected
+// failure was observed.
+func Snapshot() map[string]PointStats {
+	plan := active.Load()
+	if plan == nil {
+		return nil
+	}
+	out := make(map[string]PointStats, len(plan.rules))
+	for p, r := range plan.rules {
+		out[p] = PointStats{Calls: r.calls.Load(), Fired: r.fired.Load()}
+	}
+	return out
+}
+
+// Fired returns the total number of faults injected over the process
+// lifetime, across every plan ever armed. It is monotonic — swapping or
+// disabling plans does not reset it — so /metrics can expose it as a
+// counter.
+func Fired() uint64 { return totalFired.Load() }

@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func init() {
+	Register("test.alpha", "test.beta", "test.slow")
+}
+
+// arm parses and enables a plan, disarming at test end.
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	t.Cleanup(Disable)
+}
+
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	if Active() {
+		t.Fatal("Active with no plan")
+	}
+	before := Fired()
+	for i := 0; i < 3; i++ {
+		if err := Inject("test.alpha"); err != nil {
+			t.Fatalf("disabled Inject returned %v", err)
+		}
+	}
+	if Fired() != before || Snapshot() != nil {
+		t.Fatalf("disabled registry counted activity: fired=%d snap=%v", Fired()-before, Snapshot())
+	}
+}
+
+func TestNthCallTrigger(t *testing.T) {
+	before := Fired()
+	arm(t, "test.alpha:error:n=3")
+	for call := 1; call <= 5; call++ {
+		err := Inject("test.alpha")
+		if call == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call 3: err=%v, want ErrInjected", err)
+			}
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Point != "test.alpha" || ie.Call != 3 {
+				t.Fatalf("call 3: %+v", ie)
+			}
+		} else if err != nil {
+			t.Fatalf("call %d: unexpected %v", call, err)
+		}
+	}
+	snap := Snapshot()["test.alpha"]
+	if snap.Calls != 5 || snap.Fired != 1 {
+		t.Fatalf("stats: %+v", snap)
+	}
+	if Fired()-before != 1 {
+		t.Fatalf("Fired advanced by %d, want 1", Fired()-before)
+	}
+}
+
+func TestUnruledPointPassesThrough(t *testing.T) {
+	arm(t, "test.alpha:error:n=1")
+	if err := Inject("test.beta"); err != nil {
+		t.Fatalf("unruled point injected: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	arm(t, "test.alpha:panic:n=1")
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok || pv.Point != "test.alpha" {
+			t.Fatalf("recovered %v (%T), want *PanicValue for test.alpha", r, r)
+		}
+	}()
+	_ = Inject("test.alpha")
+	t.Fatal("Inject did not panic")
+}
+
+func TestLatencyMode(t *testing.T) {
+	arm(t, "test.slow:latency:delay=30ms,n=1")
+	t0 := time.Now()
+	if err := Inject("test.slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("latency injection slept only %s", d)
+	}
+	// Second call: trigger already consumed, no sleep.
+	t1 := time.Now()
+	if err := Inject("test.slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t1); d > 20*time.Millisecond {
+		t.Fatalf("untriggered call slept %s", d)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		p, err := Parse("test.alpha:error:p=0.5,seed=42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Enable(p)
+		defer Disable()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("test.alpha") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"", "empty plan"},
+		{"nope", "want point:mode:params"},
+		{"bogus.point:error:n=1", "unknown injection point"},
+		{"test.alpha:explode:n=1", "unknown mode"},
+		{"test.alpha:error:n=1,p=0.5", "exactly one trigger"},
+		{"test.alpha:error:x=1", "unknown parameter"},
+		{"test.alpha:error:n=banana", "bad n"},
+		{"test.alpha:latency:n=1", "needs delay"},
+		{"test.alpha:error:n=1,delay=5ms", "only valid for latency"},
+		{"test.alpha:error:p=1.5,seed=1", "outside [0,1]"},
+		{"test.alpha:error:n=1;test.alpha:error:n=2", "duplicate rule"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.spec); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestPointsEnumeratesRegistrations(t *testing.T) {
+	pts := Points()
+	for _, want := range []string{"test.alpha", "test.beta", "test.slow"} {
+		found := false
+		for _, p := range pts {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Points() missing %q: %v", want, pts)
+		}
+	}
+}
+
+func TestConcurrentInjectRace(t *testing.T) {
+	arm(t, "test.alpha:error:p=0.3,seed=9;test.beta:error:n=50")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = Inject("test.alpha")
+				_ = Inject("test.beta")
+				_ = Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := Snapshot()
+	if snap["test.alpha"].Calls != 1600 || snap["test.beta"].Calls != 1600 {
+		t.Fatalf("lost calls: %+v", snap)
+	}
+	if snap["test.beta"].Fired != 1 {
+		t.Fatalf("nth-call fired %d times under contention", snap["test.beta"].Fired)
+	}
+}

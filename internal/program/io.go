@@ -3,6 +3,7 @@ package program
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +25,18 @@ var magic = [8]byte{'V', 'P', 'I', 'M', 'G', '0', '1', '\n'}
 // maxSegment bounds segment lengths accepted by Read, so corrupt headers
 // cannot force absurd allocations.
 const maxSegment = 1 << 28
+
+// Typed decode failures. vpserve and the CLIs classify untrusted-image
+// rejections with errors.Is against these.
+var (
+	// ErrTruncated reports an image whose header-declared section sizes
+	// exceed the bytes actually present.
+	ErrTruncated = errors.New("program: truncated image")
+	// ErrCorrupt reports an image that is structurally invalid: bad magic,
+	// absurd section lengths, undecodable instructions, trailing garbage,
+	// or a decoded program that fails validation.
+	ErrCorrupt = errors.New("program: corrupt image")
+)
 
 // Write serializes the program image to w.
 func Write(w io.Writer, p *Program) error {
@@ -78,70 +91,175 @@ func Write(w io.Writer, p *Program) error {
 	return bw.Flush()
 }
 
-// Read deserializes a program image from r, validating the result.
+// Read deserializes a program image from r, validating the result. The
+// whole stream is buffered so every header-declared section size can be
+// checked against the bytes actually present before anything is allocated;
+// failures are classified as ErrTruncated or ErrCorrupt.
 func Read(r io.Reader) (*Program, error) {
-	br := bufio.NewReader(r)
-	var got [8]byte
-	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("program: read magic: %w", err)
+	raw, err := io.ReadAll(io.LimitReader(r, maxImageBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("program: read image: %w", err)
 	}
-	if got != magic {
-		return nil, fmt.Errorf("program: bad magic %q (not a program image)", got)
+	if len(raw) > maxImageBytes {
+		return nil, fmt.Errorf("%w: image exceeds %d bytes", ErrCorrupt, maxImageBytes)
+	}
+	return ReadBytes(raw)
+}
+
+// maxImageBytes bounds a whole serialized image (generously above what
+// maxSegment-sized sections can produce), so a malicious stream cannot make
+// Read buffer unboundedly.
+const maxImageBytes = 1 << 31
+
+// imageReader is a bounds-checked cursor over a serialized image. Every
+// fetch validates the remaining byte count first, so a truncated or lying
+// header fails with a typed error before any dependent allocation.
+type imageReader struct {
+	buf []byte
+	off int
+}
+
+func (r *imageReader) remaining() int { return len(r.buf) - r.off }
+
+// take returns the next n bytes, or ErrTruncated naming what was being read.
+func (r *imageReader) take(n int, what string) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("%w: %s needs %d bytes, %d remain (image is %d bytes)",
+			ErrTruncated, what, n, r.remaining(), len(r.buf))
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *imageReader) u32(what string) (uint32, error) {
+	b, err := r.take(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *imageReader) u64(what string) (uint64, error) {
+	b, err := r.take(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// length reads a section length and validates it: against maxSegment (a
+// lying header must not force an absurd allocation) and against the bytes
+// actually remaining for that section's elements (elemSize bytes each).
+func (r *imageReader) length(what string, elemSize int) (int, error) {
+	n, err := r.u32(what + " length")
+	if err != nil {
+		return 0, err
+	}
+	if n > maxSegment {
+		return 0, fmt.Errorf("%w: %s length %d exceeds limit %d", ErrCorrupt, what, n, maxSegment)
+	}
+	if need := int(n) * elemSize; need > r.remaining() {
+		return 0, fmt.Errorf("%w: header declares %d %s entries (%d bytes) but only %d bytes remain",
+			ErrTruncated, n, what, need, r.remaining())
+	}
+	return int(n), nil
+}
+
+func (r *imageReader) str(what string) (string, error) {
+	n, err := r.length(what, 1)
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(n, what)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// ReadBytes deserializes a program image from an in-memory buffer, strictly:
+// section sizes are validated against the buffer size before decode,
+// decoding must consume the buffer exactly, and the decoded program must
+// pass Validate. All failures wrap ErrTruncated or ErrCorrupt.
+func ReadBytes(raw []byte) (*Program, error) {
+	r := &imageReader{buf: raw}
+	got, err := r.take(len(magic), "magic")
+	if err != nil {
+		return nil, err
+	}
+	if [8]byte(got) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (not a program image)", ErrCorrupt, got)
 	}
 	p := &Program{}
-	var err error
-	if p.Name, err = readString(br); err != nil {
-		return nil, fmt.Errorf("program: read name: %w", err)
+	if p.Name, err = r.str("name"); err != nil {
+		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &p.Entry); err != nil {
-		return nil, fmt.Errorf("program: read entry: %w", err)
+	entry, err := r.u64("entry")
+	if err != nil {
+		return nil, err
 	}
-	textLen, err := readLen(br, "text")
+	p.Entry = int64(entry)
+
+	textLen, err := r.length("text", 8)
 	if err != nil {
 		return nil, err
 	}
 	p.Text = make([]isa.Instruction, textLen)
 	for i := range p.Text {
-		var word uint64
-		if err := binary.Read(br, binary.LittleEndian, &word); err != nil {
-			return nil, fmt.Errorf("program: read text[%d]: %w", i, err)
+		word, err := r.u64("text entry")
+		if err != nil {
+			return nil, err
 		}
 		ins, err := isa.Decode(word)
 		if err != nil {
-			return nil, fmt.Errorf("program: text[%d]: %w", i, err)
+			return nil, fmt.Errorf("%w: text[%d]: %v", ErrCorrupt, i, err)
 		}
 		p.Text[i] = ins
 	}
-	dataLen, err := readLen(br, "data")
+
+	dataLen, err := r.length("data", 8)
 	if err != nil {
 		return nil, err
 	}
 	p.Data = make([]isa.Word, dataLen)
 	for i := range p.Data {
-		if err := binary.Read(br, binary.LittleEndian, &p.Data[i]); err != nil {
-			return nil, fmt.Errorf("program: read data[%d]: %w", i, err)
+		w, err := r.u64("data entry")
+		if err != nil {
+			return nil, err
 		}
+		p.Data[i] = int64(w)
 	}
-	symLen, err := readLen(br, "symbols")
+
+	// Symbol entries are variable-length (9 fixed bytes plus the name), so
+	// the count is validated against the fixed-size floor and each entry
+	// re-checks as it goes.
+	symLen, err := r.length("symbols", 4+8+1)
 	if err != nil {
 		return nil, err
 	}
 	p.Symbols = make([]Symbol, symLen)
 	for i := range p.Symbols {
-		if p.Symbols[i].Name, err = readString(br); err != nil {
-			return nil, fmt.Errorf("program: read symbol[%d]: %w", i, err)
+		if p.Symbols[i].Name, err = r.str("symbol name"); err != nil {
+			return nil, fmt.Errorf("symbol[%d]: %w", i, err)
 		}
-		if err := binary.Read(br, binary.LittleEndian, &p.Symbols[i].Addr); err != nil {
-			return nil, fmt.Errorf("program: read symbol[%d] addr: %w", i, err)
+		addr, err := r.u64("symbol addr")
+		if err != nil {
+			return nil, fmt.Errorf("symbol[%d]: %w", i, err)
 		}
-		var d uint8
-		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-			return nil, fmt.Errorf("program: read symbol[%d] kind: %w", i, err)
+		p.Symbols[i].Addr = int64(addr)
+		kind, err := r.take(1, "symbol kind")
+		if err != nil {
+			return nil, fmt.Errorf("symbol[%d]: %w", i, err)
 		}
-		p.Symbols[i].Data = d != 0
+		p.Symbols[i].Data = kind[0] != 0
+	}
+
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after symbol table", ErrCorrupt, r.remaining())
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return p, nil
 }
@@ -177,28 +295,3 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
-func readString(r io.Reader) (string, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return "", err
-	}
-	if n > maxSegment {
-		return "", fmt.Errorf("string length %d too large", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
-}
-
-func readLen(r io.Reader, what string) (int, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return 0, fmt.Errorf("program: read %s length: %w", what, err)
-	}
-	if n > maxSegment {
-		return 0, fmt.Errorf("program: %s length %d too large", what, n)
-	}
-	return int(n), nil
-}

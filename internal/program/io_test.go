@@ -1,0 +1,142 @@
+package program
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// fixtureImage serializes a small valid program for corruption tests.
+func fixtureImage(t *testing.T) []byte {
+	t.Helper()
+	p := &Program{
+		Name:  "fixture",
+		Entry: 0,
+		Text: []isa.Instruction{
+			{Op: isa.OpLDI, Rd: 1, Imm: 7},
+			{Op: isa.OpADDI, Rd: 2, Rs1: 1, Imm: 1},
+			{Op: isa.OpST, Rs1: 0, Rs2: 2, Imm: 0},
+			{Op: isa.OpHALT},
+		},
+		Data:    []isa.Word{0, 0},
+		Symbols: []Symbol{{Name: "out", Addr: 0, Data: true}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadBytesRoundTrip(t *testing.T) {
+	raw := fixtureImage(t)
+	p, err := ReadBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "fixture" || len(p.Text) != 4 || len(p.Data) != 2 || len(p.Symbols) != 1 {
+		t.Fatalf("decoded program: %+v", p)
+	}
+	// The io.Reader path decodes identically.
+	p2, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Name != p.Name || len(p2.Text) != len(p.Text) {
+		t.Fatalf("Read and ReadBytes disagree: %+v vs %+v", p2, p)
+	}
+}
+
+// TestReadBytesTruncated cuts a valid image at every possible byte offset:
+// each prefix must fail with ErrTruncated (never panic, never succeed).
+func TestReadBytesTruncated(t *testing.T) {
+	raw := fixtureImage(t)
+	for cut := 0; cut < len(raw); cut++ {
+		p, err := ReadBytes(raw[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully: %+v", cut, len(raw), p)
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at %d/%d bytes: err = %v, want ErrTruncated", cut, len(raw), err)
+		}
+	}
+}
+
+// TestReadBytesLyingHeader patches section lengths to exceed the actual file
+// size: decode must reject with a typed error before allocating.
+func TestReadBytesLyingHeader(t *testing.T) {
+	raw := fixtureImage(t)
+	// Layout: magic(8) nameLen(4) name(7) entry(8) textLen(4) ...
+	textLenOff := 8 + 4 + len("fixture") + 8
+
+	patch := func(off int, v uint32) []byte {
+		c := bytes.Clone(raw)
+		binary.LittleEndian.PutUint32(c[off:], v)
+		return c
+	}
+
+	t.Run("text length beyond file", func(t *testing.T) {
+		_, err := ReadBytes(patch(textLenOff, 1<<20))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("text length beyond segment cap", func(t *testing.T) {
+		_, err := ReadBytes(patch(textLenOff, 1<<30))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("name length beyond file", func(t *testing.T) {
+		_, err := ReadBytes(patch(8, 1<<20))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+}
+
+func TestReadBytesCorruption(t *testing.T) {
+	raw := fixtureImage(t)
+	t.Run("bad magic", func(t *testing.T) {
+		c := bytes.Clone(raw)
+		c[0] = 'X'
+		if _, err := ReadBytes(c); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		c := append(bytes.Clone(raw), 0xFF, 0xFF)
+		if _, err := ReadBytes(c); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("undecodable instruction", func(t *testing.T) {
+		// First text word sits right after the text length field.
+		off := 8 + 4 + len("fixture") + 8 + 4
+		c := bytes.Clone(raw)
+		binary.LittleEndian.PutUint64(c[off:], ^uint64(0))
+		if _, err := ReadBytes(c); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("empty input", func(t *testing.T) {
+		if _, err := ReadBytes(nil); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("invalid program rejected", func(t *testing.T) {
+		// A structurally well-formed image whose entry point is outside
+		// the text segment must fail Validate, classified as corrupt.
+		p := &Program{Name: "bad", Entry: 99, Text: []isa.Instruction{{Op: isa.OpHALT}}}
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadBytes(buf.Bytes()); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}

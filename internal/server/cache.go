@@ -16,6 +16,14 @@ import (
 // evictable once its computation has finished, so an in-flight value can
 // never be dropped while waiters hold its ready channel.
 type Cache[V any] struct {
+	// OnPanic, when set, observes every compute-function panic the cache
+	// recovers (the server counts them in /metrics). A recovered panic is
+	// surfaced to all waiters as a *PanicError and is never cached — the
+	// entry is dropped like any failed computation, so a fill panic can
+	// neither wedge waiters on an unclosed ready channel nor poison the
+	// key.
+	OnPanic func()
+
 	mu sync.Mutex
 	// max is the entry bound; 0 disables the cache entirely (every Do
 	// computes), which keeps the callers branch-free.
@@ -42,12 +50,18 @@ func NewCache[V any](max int) *Cache[V] {
 	return &Cache[V]{max: max, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
+// fill runs a compute function shielded against panics (see OnPanic).
+func (c *Cache[V]) fill(fn func() (V, error)) (v V, err error) {
+	defer recoverToError(&err, c.OnPanic)
+	return fn()
+}
+
 // Do returns the value for key, computing it with fn on a miss. hit reports
 // whether the value was served from the cache — joining another caller's
 // in-flight computation counts as a hit (the work was deduplicated).
 func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, hit bool, err error) {
 	if c.max <= 0 {
-		val, err = fn()
+		val, err = c.fill(fn)
 		return val, false, err
 	}
 	c.mu.Lock()
@@ -64,7 +78,7 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, hit bool, err er
 	c.misses++
 	c.mu.Unlock()
 
-	e.val, e.err = fn()
+	e.val, e.err = c.fill(fn)
 	close(e.ready)
 
 	c.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -131,6 +132,131 @@ func TestCacheDisabled(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Fatalf("disabled cache memoized: %d calls", calls)
+	}
+}
+
+// TestCacheEvictionPressureInFlightEntryCompletes is the single-flight vs
+// LRU-eviction race regression test: an entry still computing while the
+// cache is pushed over its bound by other fills must not be dropped out from
+// under its waiters — every waiter still gets the computed value, and the
+// bound is re-established once the computation lands.
+func TestCacheEvictionPressureInFlightEntryCompletes(t *testing.T) {
+	c := NewCache[string](1)
+	release := make(chan struct{})
+	computing := make(chan struct{})
+
+	// The in-flight entry, with several waiters joined on it.
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]string, waiters)
+	errs := make([]error, waiters)
+	var once sync.Once
+	for g := 0; g < waiters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], _, errs[g] = c.Do("slow", func() (string, error) {
+				once.Do(func() { close(computing) })
+				<-release
+				return "slow-value", nil
+			})
+		}(g)
+	}
+	<-computing
+
+	// Push the cache well past its bound while "slow" is still in flight.
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("filler-%d", i)
+		if _, _, err := c.Do(k, func() (string, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	close(release)
+	wg.Wait()
+	for g := 0; g < waiters; g++ {
+		if errs[g] != nil || results[g] != "slow-value" {
+			t.Fatalf("waiter %d: v=%q err=%v (in-flight entry lost under eviction pressure)", g, results[g], errs[g])
+		}
+	}
+	// The completed entry is now evictable and the bound holds.
+	if _, _, err := c.Do("post", func() (string, error) { return "post", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries > 1 {
+		t.Fatalf("cache exceeded bound after in-flight completion: %+v", st)
+	}
+}
+
+// TestCacheFillPanic: a panicking compute function must surface a structured
+// *PanicError to the caller and every joined waiter, never wedge the ready
+// channel, never cache the failure, and fire the OnPanic hook exactly once.
+func TestCacheFillPanic(t *testing.T) {
+	c := NewCache[int](4)
+	var panics int
+	c.OnPanic = func() { panics++ }
+
+	_, _, err := c.Do("k", func() (int, error) { panic("fill exploded") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Val != "fill exploded" {
+		t.Fatalf("err = %v, want *PanicError(fill exploded)", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if panics != 1 {
+		t.Fatalf("OnPanic fired %d times", panics)
+	}
+	// The failure is not cached: the key recomputes and can succeed.
+	v, hit, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("recovery: v=%d hit=%v err=%v", v, hit, err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("recovered value not cached")
+	}
+}
+
+// TestCacheFillPanicSharedByWaiters: waiters on a panicking flight all
+// observe a *PanicError instead of hanging. A goroutine that arrives after
+// the flight already failed starts a fresh fill (failures are not cached),
+// which panics again — so the invariant is one OnPanic per executed fill,
+// not one total.
+func TestCacheFillPanicSharedByWaiters(t *testing.T) {
+	c := NewCache[int](4)
+	var mu sync.Mutex
+	panics := 0
+	c.OnPanic = func() { mu.Lock(); panics++; mu.Unlock() }
+
+	release := make(chan struct{})
+	computing := make(chan struct{})
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	var once sync.Once
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, _, errs[g] = c.Do("boom", func() (int, error) {
+				fills.Add(1)
+				once.Do(func() { close(computing) })
+				<-release
+				panic(fmt.Sprintf("boom-%d", g))
+			})
+		}(g)
+	}
+	<-computing
+	close(release)
+	wg.Wait()
+	for g, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("waiter %d: err = %v, want *PanicError", g, err)
+		}
+	}
+	if n := fills.Load(); panics != int(n) || n < 1 {
+		t.Fatalf("OnPanic fired %d times across %d fills", panics, n)
 	}
 }
 

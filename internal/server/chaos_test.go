@@ -1,0 +1,342 @@
+// Chaos suite: drives a real vpserve handler through the fault-injection
+// registry and asserts the hardening invariants — the server never crashes,
+// never caches a failure, reports every failure class in /metrics, and the
+// client's retry/degraded-mode machinery rides out the turbulence.
+//
+// It lives in package server_test (not server) so it can use internal/client,
+// which imports internal/server.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/faults"
+	"repro/internal/server"
+	"repro/internal/vm"
+)
+
+// chaosServer starts a daemon with the given config and tears it down.
+func chaosServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+// arm parses and enables a fault plan, disarming it when the test ends.
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatalf("fault spec %q: %v", spec, err)
+	}
+	faults.Enable(plan)
+	t.Cleanup(faults.Disable)
+}
+
+func chaosPost(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func chaosMetrics(t *testing.T, ts *httptest.Server) server.MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// loopSource is a counting loop whose retired-instruction count scales with
+// n — the knob for staying under or blowing through vm.Limits.MaxSteps.
+func loopSource(n int) string {
+	return fmt.Sprintf(`
+main:
+	ldi r1, 0
+	ldi r2, %d
+loop:
+	ld r3, data(r1)
+	add r4, r4, r3
+	addi r1, r1, 1
+	blt r1, r2, loop
+	st r4, out(zero)
+	halt
+.data
+data:	.space %d
+out:	.word 0
+`, n, n)
+}
+
+// uploadLoop registers a loop program and returns its id.
+func uploadLoop(t *testing.T, ts *httptest.Server, n int) string {
+	t.Helper()
+	code, raw := chaosPost(t, ts.URL+"/v1/programs", server.SubmitProgramRequest{
+		Name: fmt.Sprintf("loop-%d", n), Source: loopSource(n),
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d\n%s", code, raw)
+	}
+	var info server.ProgramInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info.ID
+}
+
+func decodeJR(t *testing.T, raw []byte) server.JobResponse {
+	t.Helper()
+	var jr server.JobResponse
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+	return jr
+}
+
+// TestChaosStageFaultsNeverCached injects a one-shot error at every pipeline
+// stage in turn. The faulted request must fail with a 5xx, and — because
+// failures are never cached — the identical retry must succeed.
+func TestChaosStageFaultsNeverCached(t *testing.T) {
+	points := []string{
+		server.PointResolve,
+		server.PointResults,
+		server.PointRecord,
+		server.PointAnnotate,
+		server.PointReplay,
+	}
+	ts := chaosServer(t, server.Config{Workers: 2})
+	for i, point := range points {
+		t.Run(point, func(t *testing.T) {
+			// A fresh program per stage so no cache layer (results,
+			// traces, annotations) short-circuits the faulted fill.
+			id := uploadLoop(t, ts, 40+i)
+			req := server.EvaluateRequest{Program: id, Classifier: "profile", Threshold: 80}
+
+			arm(t, point+":error:n=1")
+			code, raw := chaosPost(t, ts.URL+"/v1/evaluate", req)
+			if code != http.StatusInternalServerError {
+				t.Fatalf("faulted request: %d\n%s", code, raw)
+			}
+			jr := decodeJR(t, raw)
+			if !strings.Contains(jr.Error, "injected fault") {
+				t.Fatalf("error not attributed to injection: %q", jr.Error)
+			}
+
+			// Same request again: the failure was not cached, and the
+			// one-shot fault is spent.
+			code, raw = chaosPost(t, ts.URL+"/v1/evaluate", req)
+			if code != http.StatusOK {
+				t.Fatalf("retry after fault: %d\n%s", code, raw)
+			}
+			if jr := decodeJR(t, raw); jr.Result == nil {
+				t.Fatalf("retry carried no result: %s", raw)
+			}
+		})
+	}
+	snap := chaosMetrics(t, ts)
+	if snap.FaultsInjected < int64(len(points)) {
+		t.Fatalf("faults_injected = %d, want >= %d", snap.FaultsInjected, len(points))
+	}
+	if snap.JobsFailed < int64(len(points)) || snap.JobsCompleted < int64(len(points)) {
+		t.Fatalf("jobs: failed=%d completed=%d", snap.JobsFailed, snap.JobsCompleted)
+	}
+	if snap.PanicsRecovered != 0 {
+		t.Fatalf("error-mode faults recovered as panics: %d", snap.PanicsRecovered)
+	}
+}
+
+// TestChaosWorkerPanic crashes a worker mid-job and expects the server to
+// convert the panic to a failed job, count it, and keep serving.
+func TestChaosWorkerPanic(t *testing.T) {
+	ts := chaosServer(t, server.Config{Workers: 1})
+	id := uploadLoop(t, ts, 30)
+	req := server.EvaluateRequest{Program: id}
+
+	arm(t, server.PointWorker+":panic:n=1")
+	code, raw := chaosPost(t, ts.URL+"/v1/evaluate", req)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicked job: %d\n%s", code, raw)
+	}
+	if jr := decodeJR(t, raw); !strings.Contains(jr.Error, "recovered panic") {
+		t.Fatalf("panic not surfaced as structured error: %q", jr.Error)
+	}
+
+	// The sole worker survived the panic: the next job runs on it.
+	code, raw = chaosPost(t, ts.URL+"/v1/evaluate", req)
+	if code != http.StatusOK {
+		t.Fatalf("job after panic: %d\n%s", code, raw)
+	}
+
+	snap := chaosMetrics(t, ts)
+	if snap.PanicsRecovered != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", snap.PanicsRecovered)
+	}
+	if stats, ok := snap.FaultPoints[server.PointWorker]; !ok || stats.Fired != 1 {
+		t.Fatalf("fault_points[%s] = %+v", server.PointWorker, snap.FaultPoints)
+	}
+}
+
+// TestChaosFuelExhaustion runs a guest past MaxSteps on a single worker: the
+// job fails with a non-retryable 422, the worker survives, and a program
+// that fits the budget succeeds immediately afterwards.
+func TestChaosFuelExhaustion(t *testing.T) {
+	ts := chaosServer(t, server.Config{
+		Workers: 1,
+		Limits:  vm.Limits{MaxSteps: 500},
+	})
+
+	big := uploadLoop(t, ts, 400) // ~1600 retired instructions
+	code, raw := chaosPost(t, ts.URL+"/v1/evaluate", server.EvaluateRequest{Program: big})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget guest: %d\n%s", code, raw)
+	}
+	if jr := decodeJR(t, raw); !strings.Contains(jr.Error, "fuel exhausted") {
+		t.Fatalf("error = %q, want fuel exhaustion", jr.Error)
+	}
+
+	small := uploadLoop(t, ts, 20) // ~90 retired instructions
+	code, raw = chaosPost(t, ts.URL+"/v1/evaluate", server.EvaluateRequest{Program: small})
+	if code != http.StatusOK {
+		t.Fatalf("in-budget guest after exhaustion: %d\n%s", code, raw)
+	}
+
+	snap := chaosMetrics(t, ts)
+	if snap.FuelExhausted != 1 {
+		t.Fatalf("fuel_exhausted = %d, want 1", snap.FuelExhausted)
+	}
+	if snap.PanicsRecovered != 0 {
+		t.Fatalf("fuel exhaustion recovered as panic: %d", snap.PanicsRecovered)
+	}
+}
+
+// TestChaosSlowStageTimesOutThenRecovers delays the resolve stage past the
+// server's request timeout: the job fails 504 (retryable), and the client's
+// backoff retry lands a clean second attempt.
+func TestChaosSlowStageTimesOutThenRecovers(t *testing.T) {
+	ts := chaosServer(t, server.Config{
+		Workers:        1,
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	id := uploadLoop(t, ts, 30)
+
+	arm(t, server.PointResolve+":latency:delay=400ms,n=1")
+	c := client.New(client.Config{
+		BaseURL:     ts.URL,
+		MaxRetries:  2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	res, err := c.Evaluate(context.Background(), server.EvaluateRequest{Program: id})
+	if err != nil {
+		t.Fatalf("client did not recover: %v", err)
+	}
+	if res.Stale || res.Attempts != 2 || res.Result == nil {
+		t.Fatalf("res = %+v, want fresh result on attempt 2", res)
+	}
+
+	snap := chaosMetrics(t, ts)
+	if snap.JobsTimedOut < 1 {
+		t.Fatalf("jobs_timed_out = %d, want >= 1", snap.JobsTimedOut)
+	}
+}
+
+// TestChaosQueueStormStaleFallback shuts the intake (every submit sheds with
+// 503) and expects the client to serve its last good result, flagged stale.
+func TestChaosQueueStormStaleFallback(t *testing.T) {
+	ts := chaosServer(t, server.Config{Workers: 1})
+	id := uploadLoop(t, ts, 30)
+	req := server.EvaluateRequest{Program: id}
+
+	c := client.New(client.Config{
+		BaseURL:    ts.URL,
+		MaxRetries: -1, // single attempt: the storm never clears
+	})
+	res, err := c.Evaluate(context.Background(), req)
+	if err != nil || res.Stale {
+		t.Fatalf("warm-up: res=%+v err=%v", res, err)
+	}
+	fresh := res.ID
+
+	arm(t, server.PointIntake+":error:p=1,seed=99")
+	res, err = c.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("storm: want stale fallback, got error: %v", err)
+	}
+	if !res.Stale || res.ID != fresh {
+		t.Fatalf("storm: res = %+v, want stale copy of %s", res, fresh)
+	}
+
+	snap := chaosMetrics(t, ts)
+	if snap.JobsRejected < 1 {
+		t.Fatalf("jobs_rejected = %d, want >= 1", snap.JobsRejected)
+	}
+	if stats := snap.FaultPoints[server.PointIntake]; stats.Fired < 1 {
+		t.Fatalf("intake fault never fired: %+v", snap.FaultPoints)
+	}
+}
+
+// TestChaosValidationCounted feeds the server garbage and checks that every
+// rejection is counted rather than crashing or queueing work.
+func TestChaosValidationCounted(t *testing.T) {
+	ts := chaosServer(t, server.Config{Workers: 1})
+
+	// Truncated image bytes (valid base64, junk payload).
+	junk := base64.StdEncoding.EncodeToString([]byte("not a vpimg"))
+	code, _ := chaosPost(t, ts.URL+"/v1/programs", server.SubmitProgramRequest{ImageBase64: junk})
+	if code/100 != 4 {
+		t.Fatalf("junk image accepted: %d", code)
+	}
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d", resp.StatusCode)
+	}
+
+	snap := chaosMetrics(t, ts)
+	if snap.ValidationRejections < 2 {
+		t.Fatalf("validation_rejections = %d, want >= 2", snap.ValidationRejections)
+	}
+	if snap.JobsFailed != 0 || snap.PanicsRecovered != 0 {
+		t.Fatalf("validation leaked into the pipeline: %+v", snap)
+	}
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/annotate"
 	"repro/internal/classify"
+	"repro/internal/faults"
 	"repro/internal/ilp"
 	"repro/internal/isa"
 	"repro/internal/predictor"
@@ -15,9 +18,28 @@ import (
 	"repro/internal/program"
 	"repro/internal/report"
 	"repro/internal/trace"
+	"repro/internal/vm"
 	"repro/internal/vpsim"
 	"repro/internal/workload"
 )
+
+// Fault-injection points bracketing every failure-prone boundary of the job
+// pipeline (see package faults and DESIGN.md §9): queue intake, worker
+// pickup, each pipeline stage, and the result-cache fill.
+const (
+	PointIntake   = "server.intake"   // pool.submit, before the queue send
+	PointWorker   = "server.worker"   // worker pickup, inside the per-job recover
+	PointResolve  = "server.resolve"  // request → program image
+	PointResults  = "server.results"  // result-cache fill
+	PointRecord   = "server.record"   // trace-cache fill (guest execution)
+	PointAnnotate = "server.annotate" // profile + annotate cache fill
+	PointReplay   = "server.replay"   // trace replay through the engine
+)
+
+func init() {
+	faults.Register(PointIntake, PointWorker, PointResolve, PointResults,
+		PointRecord, PointAnnotate, PointReplay)
+}
 
 // EvaluateRequest is the body of POST /v1/jobs and POST /v1/evaluate: run
 // one program through one predictor/classifier configuration and return the
@@ -232,6 +254,10 @@ type annotation struct {
 // (or reuse) its trace, annotate if profile-classified, replay through a
 // fresh engine, and assemble the report. Cancellation is honored at stage
 // boundaries — individual stages are at most one benchmark execution long.
+//
+// The body is panic-isolated: a panicking job (malformed guest state, an
+// injected fault, a bug in a pipeline stage) fails that job with a
+// structured *PanicError while the worker goroutine and the daemon survive.
 func (s *Server) run(j *job) {
 	started := j.markStarted()
 	s.metrics.ObserveStage(stageQueueWait, started.Sub(j.enqueued))
@@ -242,6 +268,9 @@ func (s *Server) run(j *job) {
 			if j.ctx.Err() != nil {
 				s.metrics.JobsTimedOut.Add(1)
 			}
+			if isLimitError(j.err) {
+				s.metrics.FuelExhausted.Add(1)
+			}
 			s.metrics.JobsFailed.Add(1)
 		} else {
 			s.metrics.JobsCompleted.Add(1)
@@ -249,18 +278,50 @@ func (s *Server) run(j *job) {
 		j.cancel()
 		close(j.done)
 	}()
+	// Registered after (so it runs before) the bookkeeping defer above:
+	// the recovery assigns j.err, then the bookkeeping observes it.
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.PanicsRecovered.Add(1)
+			j.result, j.cacheHit = nil, false
+			j.err = recoveredPanic(r)
+		}
+	}()
 
 	if err := j.ctx.Err(); err != nil {
 		j.err = fmt.Errorf("cancelled while queued: %w", err)
 		return
 	}
+	if err := faults.Inject(PointWorker); err != nil {
+		j.err = err
+		return
+	}
 	j.result, j.cacheHit, j.err = s.evaluate(j.ctx, &j.req)
+}
+
+// recoveredPanic wraps a recover() value, reusing an existing *PanicError
+// (a cache fill already converted and counted it) instead of double-wrapping.
+func recoveredPanic(r any) error {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Val: r, Stack: debug.Stack()}
+}
+
+// isLimitError classifies guest-sandbox violations (vm.Limits).
+func isLimitError(err error) bool {
+	return errors.Is(err, vm.ErrFuelExhausted) ||
+		errors.Is(err, vm.ErrTraceLimit) ||
+		errors.Is(err, vm.ErrMemLimit)
 }
 
 // evaluate is the cache-aware pipeline entry. It is also what the
 // server-throughput benchmark drives directly.
 func (s *Server) evaluate(ctx context.Context, req *EvaluateRequest) (*report.Run, bool, error) {
 	t0 := time.Now()
+	if err := faults.Inject(PointResolve); err != nil {
+		return nil, false, err
+	}
 	p, input, err := s.resolveProgram(req)
 	if err != nil {
 		return nil, false, err
@@ -273,6 +334,9 @@ func (s *Server) evaluate(ctx context.Context, req *EvaluateRequest) (*report.Ru
 
 	key := fp + "|" + req.configKey()
 	res, hit, err := s.results.Do(key, func() (*report.Run, error) {
+		if err := faults.Inject(PointResults); err != nil {
+			return nil, err
+		}
 		return s.compute(ctx, p, fp, input, req)
 	})
 	return res, hit, err
@@ -317,6 +381,9 @@ func (s *Server) compute(ctx context.Context, p *program.Program, fp string, inp
 	}
 
 	t0 := time.Now()
+	if err := faults.Inject(PointReplay); err != nil {
+		return nil, err
+	}
 	store, err := req.newStore()
 	if err != nil {
 		return nil, err
@@ -378,13 +445,17 @@ func (s *Server) compute(ctx context.Context, p *program.Program, fp string, inp
 	return out, nil
 }
 
-// recordedTrace executes the program once and seals the recorded stream;
-// repeated requests for the same fingerprint replay the cached trace.
+// recordedTrace executes the program once — under the server's guest
+// sandbox limits — and seals the recorded stream; repeated requests for the
+// same fingerprint replay the cached trace.
 func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, error) {
 	rec, _, err := s.traces.Do(fp, func() (*trace.Recorder, error) {
 		t0 := time.Now()
+		if err := faults.Inject(PointRecord); err != nil {
+			return nil, err
+		}
 		rec := trace.NewRecorder()
-		if _, err := workload.Run(p, rec); err != nil {
+		if _, err := workload.RunConfig(p, s.vmConfig(), rec); err != nil {
 			return nil, err
 		}
 		// Seal before the cache publishes the recorder to other
@@ -406,6 +477,9 @@ func (s *Server) annotation(p *program.Program, fp string, req *EvaluateRequest)
 	key := fmt.Sprintf("%s|t%g", fp, req.Threshold)
 	anno, _, err := s.annos.Do(key, func() (*annotation, error) {
 		t0 := time.Now()
+		if err := faults.Inject(PointAnnotate); err != nil {
+			return nil, err
+		}
 		im, err := s.profileImage(p, fp, req)
 		if err != nil {
 			return nil, err
@@ -436,7 +510,11 @@ func (s *Server) profileImage(p *program.Program, fp string, req *EvaluateReques
 			ims := make([]*profiler.Image, 0, s.cfg.TrainInputs)
 			for _, in := range workload.TrainingInputs(s.cfg.TrainInputs) {
 				col := profiler.NewCollector()
-				if _, err := workload.BuildAndRun(req.Bench, in, col); err != nil {
+				bp, err := workload.Build(req.Bench, in)
+				if err != nil {
+					return nil, fmt.Errorf("profile %s under %s: %w", req.Bench, in, err)
+				}
+				if _, err := workload.RunConfig(bp, s.vmConfig(), col); err != nil {
 					return nil, fmt.Errorf("profile %s under %s: %w", req.Bench, in, err)
 				}
 				ims = append(ims, col.Image(req.Bench, in.String()))

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // This file implements the observability surface of the daemon: monotonic
@@ -140,6 +142,11 @@ type Metrics struct {
 	JobsRejected  atomic.Int64 // queue full or shutting down
 	JobsTimedOut  atomic.Int64
 
+	// Failure-class counters for the fault-tolerance layer (DESIGN.md §9).
+	PanicsRecovered      atomic.Int64 // guest/job panics converted to job errors
+	FuelExhausted        atomic.Int64 // jobs failed on a vm.Limits bound
+	ValidationRejections atomic.Int64 // malformed requests/images rejected up front
+
 	stages map[string]*Histogram
 }
 
@@ -172,6 +179,15 @@ type MetricsSnapshot struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsRejected  int64 `json:"jobs_rejected"`
 	JobsTimedOut  int64 `json:"jobs_timed_out"`
+
+	PanicsRecovered      int64 `json:"panics_recovered"`
+	FuelExhausted        int64 `json:"fuel_exhausted"`
+	ValidationRejections int64 `json:"validation_rejections"`
+	// FaultsInjected totals synthetic faults fired by an armed
+	// fault-injection plan (0 in production); FaultPoints breaks them out
+	// per injection point.
+	FaultsInjected int64                        `json:"faults_injected"`
+	FaultPoints    map[string]faults.PointStats `json:"fault_points,omitempty"`
 
 	Caches map[string]CacheStats        `json:"caches"`
 	Stages map[string]HistogramSnapshot `json:"stages"`

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic converted into a structured job error. The
+// worker pool and the single-flight caches shield every piece of guest-
+// adjacent work with one, so a panicking job (or cache fill) fails that job
+// alone — the worker goroutine, its peers, and the daemon survive.
+type PanicError struct {
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("recovered panic: %v", e.Val) }
+
+// recoverToError converts an in-flight panic into a *PanicError assigned to
+// *errp, for use directly in a defer. onPanic (optional) observes the
+// recovery — the server counts it in metrics.
+func recoverToError(errp *error, onPanic func()) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if onPanic != nil {
+		onPanic()
+	}
+	*errp = &PanicError{Val: r, Stack: debug.Stack()}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/faults"
 )
 
 // This file implements the bounded job queue and worker pool. Submission is
@@ -55,6 +57,12 @@ func newPool(workers, depth int, run func(*job)) *pool {
 
 // submit enqueues a job without blocking.
 func (p *pool) submit(j *job) error {
+	// An injected intake fault presents as queue pressure: the HTTP layer
+	// maps it to 503 + Retry-After, exactly the shed-load path chaos tests
+	// exercise.
+	if err := faults.Inject(PointIntake); err != nil {
+		return fmt.Errorf("%w: %v", ErrQueueFull, err)
+	}
 	// Hold the lock across the send: otherwise Shutdown could observe an
 	// empty channel, close it, and a concurrent submit would panic on
 	// send-on-closed-channel.

@@ -18,7 +18,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/json"
@@ -30,10 +29,12 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/faults"
 	"repro/internal/profiler"
 	"repro/internal/program"
 	"repro/internal/report"
 	"repro/internal/trace"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -58,6 +59,22 @@ type Config struct {
 	ProgramCache int
 	// MaxJobs bounds the finished-job registry (default 4096).
 	MaxJobs int
+	// Limits sandboxes guest execution (recording and profiling runs).
+	// A zero value takes DefaultLimits; set a field to -1 to disable that
+	// limit (the vm treats non-positive limits as unlimited).
+	Limits vm.Limits
+}
+
+// DefaultLimits is the guest sandbox vpserve applies when Config.Limits is
+// zero: generous enough that every synthetic benchmark runs untouched (their
+// default memory image — data plus vm.DefaultExtraMem heap words — stays far
+// below MaxMem, so clamping never alters a benchmark's stack placement or
+// its trace), tight enough that an uploaded runaway program cannot pin a
+// worker or balloon the trace cache.
+var DefaultLimits = vm.Limits{
+	MaxSteps:       100_000_000,
+	MaxMem:         1 << 24, // words (128 MiB)
+	MaxTraceEvents: 100_000_000,
 }
 
 func (c Config) withDefaults() Config {
@@ -78,8 +95,15 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.Limits == (vm.Limits{}) {
+		c.Limits = DefaultLimits
+	}
 	return c
 }
+
+// vmConfig is the machine configuration for guest executions (trace
+// recording and profiling runs), carrying the sandbox limits.
+func (s *Server) vmConfig() vm.Config { return vm.Config{Limits: s.cfg.Limits} }
 
 // workloadDefaultTrainInputs mirrors experiments.DefaultTrainInputs without
 // importing the experiments package (which would pull every paper driver
@@ -120,6 +144,14 @@ func New(cfg Config) *Server {
 		programs: NewCache[*program.Program](cfg.ProgramCache),
 		jobs:     make(map[string]*job),
 	}
+	// Cache fills run guest-adjacent code; recovered fill panics count as
+	// recovered worker panics (the waiters see a *PanicError).
+	onPanic := func() { s.metrics.PanicsRecovered.Add(1) }
+	s.results.OnPanic = onPanic
+	s.traces.OnPanic = onPanic
+	s.images.OnPanic = onPanic
+	s.annos.OnPanic = onPanic
+	s.programs.OnPanic = onPanic
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.run)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -157,6 +189,13 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
+// rejectValidation writes an error response for input the server refused up
+// front (malformed JSON, bad image bytes, invalid parameters) and counts it.
+func (s *Server) rejectValidation(w http.ResponseWriter, code int, err error) {
+	s.metrics.ValidationRejections.Add(1)
+	writeError(w, code, err)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -170,6 +209,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		JobsFailed:    s.metrics.JobsFailed.Load(),
 		JobsRejected:  s.metrics.JobsRejected.Load(),
 		JobsTimedOut:  s.metrics.JobsTimedOut.Load(),
+
+		PanicsRecovered:      s.metrics.PanicsRecovered.Load(),
+		FuelExhausted:        s.metrics.FuelExhausted.Load(),
+		ValidationRejections: s.metrics.ValidationRejections.Load(),
+		FaultsInjected:       int64(faults.Fired()),
+		FaultPoints:          faults.Snapshot(),
 		Caches: map[string]CacheStats{
 			"results":  s.results.Stats(),
 			"traces":   s.traces.Stats(),
@@ -206,11 +251,11 @@ type ProgramInfo struct {
 func (s *Server) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
 	var req SubmitProgramRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.rejectValidation(w, http.StatusBadRequest, err)
 		return
 	}
 	if (req.Source == "") == (req.ImageBase64 == "") {
-		writeError(w, http.StatusBadRequest, errors.New("exactly one of \"source\" or \"image_base64\" must be set"))
+		s.rejectValidation(w, http.StatusBadRequest, errors.New("exactly one of \"source\" or \"image_base64\" must be set"))
 		return
 	}
 	var p *program.Program
@@ -224,11 +269,14 @@ func (s *Server) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
 	} else {
 		var raw []byte
 		if raw, err = base64.StdEncoding.DecodeString(req.ImageBase64); err == nil {
-			p, err = program.Read(bytes.NewReader(raw))
+			// Strict bounds-checked decode: section sizes are validated
+			// against the upload's actual size before anything is
+			// allocated, and truncation/corruption report typed errors.
+			p, err = program.ReadBytes(raw)
 		}
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.rejectValidation(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	fp, err := workload.FingerprintOf(p)
@@ -361,12 +409,12 @@ func (s *Server) evictJobsLocked() {
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.rejectValidation(w, http.StatusBadRequest, err)
 		return
 	}
 	j, err := s.newJob(req)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.jobResponse(j))
@@ -387,12 +435,12 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.rejectValidation(w, http.StatusBadRequest, err)
 		return
 	}
 	j, err := s.newJob(req)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	if err := j.Wait(r.Context()); err != nil {
@@ -403,8 +451,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	resp := s.jobResponse(j)
 	if resp.Status == StatusFailed {
 		code := http.StatusInternalServerError
-		if errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled) {
+		switch {
+		case errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled):
 			code = http.StatusGatewayTimeout
+		case isLimitError(j.err):
+			// The guest exceeded its sandbox — the request is at fault,
+			// and retrying the identical program cannot succeed.
+			code = http.StatusUnprocessableEntity
 		}
 		writeJSON(w, code, resp)
 		return
@@ -419,13 +472,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 // writeSubmitError maps submission failures: queue pressure → 503,
 // validation → 400.
-func writeSubmitError(w http.ResponseWriter, err error) {
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	writeError(w, http.StatusBadRequest, err)
+	s.rejectValidation(w, http.StatusBadRequest, err)
 }
 
 // decodeJSON strictly decodes a request body into v.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/program"
 	"repro/internal/trace"
@@ -33,6 +34,29 @@ type Config struct {
 	// program has not halted after this many instructions. Zero selects
 	// DefaultMaxInstructions.
 	MaxInstructions int64
+	// Limits sandboxes untrusted guest programs. The zero value imposes no
+	// limits (trusted callers — the experiment drivers — run unlimited).
+	Limits Limits
+}
+
+// Limits is the resource sandbox for untrusted guest programs, enforced in
+// the dispatch loop and at machine construction. Zero fields are unlimited.
+// Unlike Config.MaxInstructions (a safety net for runaway but trusted
+// experiments, with a large default), Limits is an explicit cap vpserve
+// places on uploaded work; exceeding it is the guest's fault and reports the
+// typed errors below so the server can classify the failure.
+type Limits struct {
+	// MaxSteps caps retired instructions; exceeding it fails the run with
+	// ErrFuelExhausted.
+	MaxSteps int64
+	// MaxMem caps data-memory size in words. A program whose initialized
+	// data does not fit is rejected by New with ErrMemLimit; a default
+	// heap allocation is clamped to fit.
+	MaxMem int64
+	// MaxTraceEvents caps records delivered to attached trace consumers;
+	// exceeding it fails the run with ErrTraceLimit. Runs with no
+	// consumers emit no events and are not bounded by it.
+	MaxTraceEvents int64
 }
 
 // Defaults for Config zero values.
@@ -52,7 +76,21 @@ var (
 	ErrDivZero = errors.New("vm: integer division by zero")
 	// ErrPCFault reports a control transfer outside the text segment.
 	ErrPCFault = errors.New("vm: PC outside text segment")
+	// ErrFuelExhausted reports that the run exceeded Limits.MaxSteps.
+	ErrFuelExhausted = errors.New("vm: fuel exhausted")
+	// ErrMemLimit reports that the program needs more memory than
+	// Limits.MaxMem allows.
+	ErrMemLimit = errors.New("vm: memory limit exceeded")
+	// ErrTraceLimit reports that the run emitted more trace events than
+	// Limits.MaxTraceEvents allows.
+	ErrTraceLimit = errors.New("vm: trace event limit exceeded")
 )
+
+// PointStep is the fault-injection point evaluated once per dispatched
+// instruction (only when a fault plan is armed; see package faults).
+const PointStep = "vm.step"
+
+func init() { faults.Register(PointStep) }
 
 // decoded is one pre-decoded text-segment instruction: the operand fields
 // the interpreter needs, plus the source-operand reads the tracer reports,
@@ -95,8 +133,17 @@ func New(p *program.Program, cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	memWords := cfg.MemWords
-	if memWords == 0 {
+	defaulted := memWords == 0
+	if defaulted {
 		memWords = len(p.Data) + DefaultExtraMem
+	}
+	if lim := cfg.Limits.MaxMem; lim > 0 && int64(memWords) > lim {
+		if !defaulted || int64(len(p.Data)) > lim {
+			return nil, fmt.Errorf("%w: program needs %d words, MaxMem is %d", ErrMemLimit, memWords, lim)
+		}
+		// A defaulted heap is clamped to the sandbox; the program's own
+		// data still fits.
+		memWords = int(lim)
 	}
 	if memWords < len(p.Data) {
 		return nil, fmt.Errorf("vm: MemWords %d smaller than initialized data %d", memWords, len(p.Data))
@@ -183,14 +230,33 @@ func (m *Machine) Mem(a int64) (isa.Word, error) {
 	return m.mem[a], nil
 }
 
-// Run executes until HALT or the instruction budget is exhausted. It is the
-// fused fast path: the halt/budget/PC checks are hoisted into one loop
-// header and the step body is invoked directly on the decoded instruction.
+// Run executes until HALT, the instruction budget, or a sandbox limit is
+// exhausted. It is the fused fast path: the halt/budget/limit/PC checks are
+// hoisted into one loop header and the step body is invoked directly on the
+// decoded instruction. Fault injection is snapshotted once — when no plan is
+// armed the loop carries a single always-false branch.
 func (m *Machine) Run() error {
 	budget := m.cfg.MaxInstructions
+	fuel := m.cfg.Limits.MaxSteps
+	events := m.cfg.Limits.MaxTraceEvents
+	if events > 0 && len(m.consumers) == 0 {
+		events = 0 // no consumers, no events to bound
+	}
+	inject := faults.Active()
 	for !m.halted {
 		if m.seq >= budget {
 			return fmt.Errorf("%w (%d instructions, pc=%d)", ErrBudget, m.seq, m.pc)
+		}
+		if fuel > 0 && m.seq >= fuel {
+			return fmt.Errorf("%w: MaxSteps=%d reached at pc=%d", ErrFuelExhausted, fuel, m.pc)
+		}
+		if events > 0 && m.seq >= events {
+			return fmt.Errorf("%w: MaxTraceEvents=%d reached at pc=%d", ErrTraceLimit, events, m.pc)
+		}
+		if inject {
+			if err := faults.Inject(PointStep); err != nil {
+				return fmt.Errorf("vm: step %d: %w", m.seq, err)
+			}
 		}
 		if uint64(m.pc) >= uint64(len(m.dec)) {
 			return fmt.Errorf("%w: pc=%d text=[0,%d)", ErrPCFault, m.pc, len(m.dec))

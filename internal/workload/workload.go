@@ -151,7 +151,15 @@ func Build(name string, in Input) (*program.Program, error) {
 // Run executes a program image to completion, feeding the trace to the
 // consumers, and returns the dynamic instruction count.
 func Run(p *program.Program, consumers ...trace.Consumer) (int64, error) {
-	m, err := vm.New(p, vm.Config{})
+	return RunConfig(p, vm.Config{}, consumers...)
+}
+
+// RunConfig is Run with an explicit machine configuration; vpserve uses it
+// to impose vm.Limits on untrusted guest programs. Sandbox errors
+// (vm.ErrFuelExhausted and friends) stay unwrappable through the returned
+// error.
+func RunConfig(p *program.Program, cfg vm.Config, consumers ...trace.Consumer) (int64, error) {
+	m, err := vm.New(p, cfg)
 	if err != nil {
 		return 0, err
 	}

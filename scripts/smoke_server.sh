@@ -48,6 +48,41 @@ if ! wait "$PID"; then
     echo "vpserve exited non-zero on SIGTERM:"; cat "$WORK/log"; exit 1
 fi
 grep -q "drained cleanly" "$WORK/log" || { echo "no clean-drain message:"; cat "$WORK/log"; exit 1; }
+
+# --- Fault-injection smoke: a second daemon armed to fail the first
+# trace-recording. The faulted request must 5xx, the retry must succeed
+# (failures are never cached), and /metrics must attribute the injection.
+FPORT=$((PORT + 1))
+FBASE="http://127.0.0.1:$FPORT"
+"$WORK/vpserve" -addr "127.0.0.1:$FPORT" -faults 'server.record:error:n=1' \
+    >"$WORK/flog" 2>&1 &
+FPID=$!
+trap 'kill -TERM "$FPID" 2>/dev/null || true; wait "$FPID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "$FBASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$FPID" 2>/dev/null || { echo "faulted vpserve exited early:"; cat "$WORK/flog"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "faulted vpserve never became healthy:"; cat "$WORK/flog"; exit 1; }
+
+FCODE=$(curl -sS -X POST -d "$BODY" "$FBASE/v1/evaluate" -o "$WORK/f1" -w '%{http_code}')
+case "$FCODE" in
+    5*) ;;
+    *) echo "faulted request returned $FCODE, want 5xx:"; cat "$WORK/f1"; exit 1 ;;
+esac
+grep -q 'injected fault' "$WORK/f1" || { echo "failure not attributed to injection:"; cat "$WORK/f1"; exit 1; }
+
+# The fault was one-shot and the failure was not cached: retry succeeds.
+curl -fsS -X POST -d "$BODY" "$FBASE/v1/evaluate" -o "$WORK/f2"
+grep -q '"status": "done"' "$WORK/f2" || { echo "retry after fault not done:"; cat "$WORK/f2"; exit 1; }
+
+curl -fsS "$FBASE/metrics" -o "$WORK/fmetrics"
+grep -q '"faults_injected": 1' "$WORK/fmetrics" || { echo "fault metrics unexpected:"; cat "$WORK/fmetrics"; exit 1; }
+
+kill -TERM "$FPID"
+wait "$FPID" || { echo "faulted vpserve exited non-zero on SIGTERM:"; cat "$WORK/flog"; exit 1; }
 trap 'rm -rf "$WORK"' EXIT
 
-echo "vpserve smoke OK"
+echo "vpserve smoke OK (incl. fault injection)"
