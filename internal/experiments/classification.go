@@ -79,25 +79,28 @@ func RunClassAccuracy(c *Context) (*ClassAccuracy, error) {
 	out := &ClassAccuracy{Thresholds: c.Thresholds}
 	benches := workload.Names()
 	out.Rows = make([]ClassAccuracyRow, len(benches))
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		row := ClassAccuracyRow{Bench: bench}
 
+		// The FSM baseline and every threshold configuration share one
+		// pass over the recorded evaluation trace.
 		fsmPolicy, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
 		if err != nil {
 			return err
 		}
 		fsm := vpsim.NewFSMEngine(predictor.NewInfinite(predictor.Stride), fsmPolicy)
-		if err := c.RunEvalPlain(bench, fsm); err != nil {
+		cfgs := []SweepConfig{Plain(fsm)}
+		shadows := make([]*profileShadow, len(c.Thresholds))
+		for k, th := range c.Thresholds {
+			shadows[k] = newProfileShadow()
+			cfgs = append(cfgs, Sweep(th, shadows[k]))
+		}
+		if _, err := c.RunEvalSweep(bench, cfgs...); err != nil {
 			return err
 		}
 		row.Mispred = append(row.Mispred, fsm.Stats().MispredClassAccuracy())
 		row.CorrectOK = append(row.CorrectOK, fsm.Stats().CorrectClassAccuracy())
-
-		for _, th := range c.Thresholds {
-			sh := newProfileShadow()
-			if err := c.RunEvalAnnotated(bench, th, sh); err != nil {
-				return err
-			}
+		for _, sh := range shadows {
 			row.Mispred = append(row.Mispred, sh.stats.MispredClassAccuracy())
 			row.CorrectOK = append(row.CorrectOK, sh.stats.CorrectClassAccuracy())
 		}

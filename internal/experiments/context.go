@@ -7,11 +7,12 @@
 package experiments
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/annotate"
+	"repro/internal/parallel"
 	"repro/internal/profiler"
 	"repro/internal/program"
 	"repro/internal/trace"
@@ -47,6 +48,12 @@ type Context struct {
 	NumTrainInputs int
 	// Thresholds is the accuracy-threshold sweep.
 	Thresholds []float64
+	// Workers bounds the per-benchmark fan-out inside one artifact
+	// (0 selects parallel.DefaultLimit, 1 runs strictly sequentially).
+	// Results are deterministic for any value — every work item writes
+	// only its own index-addressed slot and all floating-point reductions
+	// happen after the fan-out, in fixed benchmark order.
+	Workers int
 
 	mu         sync.Mutex
 	trainCache map[string]*cell[[]*profiler.Image]
@@ -225,22 +232,61 @@ func (c *Context) RunEvalAnnotated(bench string, threshold float64, consumers ..
 	return nil
 }
 
-// forEachBench runs f once per benchmark, concurrently, with i the
-// benchmark's position (so drivers can fill order-stable result slices).
-// The heavy drivers use it to spread the per-benchmark simulations across
-// cores; all Context caches are safe for concurrent use.
-func forEachBench(benches []string, f func(i int, bench string) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(benches))
-	for i, b := range benches {
-		wg.Add(1)
-		go func(i int, b string) {
-			defer wg.Done()
-			errs[i] = f(i, b)
-		}(i, b)
+// forEachBench runs f once per benchmark on the Context's bounded worker
+// pool, with i the benchmark's position (so drivers can fill order-stable
+// result slices). The heavy drivers use it to spread the per-benchmark
+// simulations across cores; all Context caches are safe for concurrent use.
+// With Workers = 1 the benchmarks run strictly sequentially in order.
+func (c *Context) forEachBench(benches []string, f func(i int, bench string) error) error {
+	return parallel.ForEach(context.Background(), c.Workers, len(benches),
+		func(_ context.Context, i int) error { return f(i, benches[i]) })
+}
+
+// SweepConfig is one configuration of a single-pass evaluation sweep: a
+// consumer plus the annotation threshold whose directives it observes
+// (Plain = true replays the unannotated stream, for FSM baselines and
+// no-prediction ILP machines).
+type SweepConfig struct {
+	Plain     bool
+	Threshold float64
+	Consumer  trace.Consumer
+}
+
+// Sweep marks cfg as a threshold configuration.
+func Sweep(th float64, c trace.Consumer) SweepConfig {
+	return SweepConfig{Threshold: th, Consumer: c}
+}
+
+// Plain marks cfg as an unannotated-stream configuration.
+func Plain(c trace.Consumer) SweepConfig { return SweepConfig{Plain: true, Consumer: c} }
+
+// RunEvalSweep feeds every configuration the benchmark's evaluation-input
+// instruction stream in ONE pass over the recorded trace: plain
+// configurations see the unannotated stream (as RunEvalPlain), threshold
+// configurations see the stream under that threshold's annotation
+// directives (as RunEvalAnnotated). This is the single-pass sweep that
+// turns the threshold-sweep drivers from O(configs × replay) into
+// O(replay + configs × table-update); per-configuration results are
+// bit-identical to separate replays. It returns the number of replay
+// passes saved versus one replay per configuration.
+func (c *Context) RunEvalSweep(bench string, cfgs ...SweepConfig) (int64, error) {
+	rec, err := c.EvalTrace(bench)
+	if err != nil {
+		return 0, err
 	}
-	wg.Wait()
-	return errors.Join(errs...)
+	evals := make([]trace.EvalConfig, len(cfgs))
+	for i, cfg := range cfgs {
+		ec := trace.EvalConfig{Consumer: cfg.Consumer}
+		if !cfg.Plain {
+			p, _, err := c.Annotated(bench, cfg.Threshold)
+			if err != nil {
+				return 0, err
+			}
+			ec.Dirs = trace.DirsOf(p.Text)
+		}
+		evals[i] = ec
+	}
+	return rec.MultiEval(evals...), nil
 }
 
 // Result is one regenerated paper artifact.

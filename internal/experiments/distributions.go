@@ -109,10 +109,12 @@ func RunFigure23(c *Context) (*Distribution, error) {
 
 func perInstructionDistribution(c *Context, id, title string, f func(*profiler.InstStat) (float64, bool)) (*Distribution, error) {
 	d := &Distribution{id: id, title: title}
-	for _, bench := range workload.AllNames() {
+	benches := workload.AllNames()
+	d.Histograms = make([]BenchHistogram, len(benches))
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		col, err := c.EvalCollector(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var vals []float64
 		col.ForEach(func(s *profiler.InstStat) {
@@ -120,11 +122,15 @@ func perInstructionDistribution(c *Context, id, title string, f func(*profiler.I
 				vals = append(vals, v)
 			}
 		})
-		d.Histograms = append(d.Histograms, BenchHistogram{
+		d.Histograms[i] = BenchHistogram{
 			Bench: bench,
 			Pct:   metrics.HistogramPct(vals),
 			N:     len(vals),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	d.computeAverage()
 	return d, nil
@@ -157,21 +163,27 @@ func RunFigure43(c *Context) (*Distribution, error) {
 
 func correlationDistribution(c *Context, id, title string, q metrics.Quantity, metric func(*metrics.VectorSet) []float64) (*Distribution, error) {
 	d := &Distribution{id: id, title: title}
-	for _, bench := range workload.Names() {
+	benches := workload.Names()
+	d.Histograms = make([]BenchHistogram, len(benches))
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		ims, err := c.TrainImages(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vs, err := metrics.Align(ims, q)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", id, bench, err)
+			return fmt.Errorf("experiments: %s on %s: %w", id, bench, err)
 		}
 		vals := metric(vs)
-		d.Histograms = append(d.Histograms, BenchHistogram{
+		d.Histograms[i] = BenchHistogram{
 			Bench: bench,
 			Pct:   metrics.HistogramPct(vals),
 			N:     len(vals),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	d.computeAverage()
 	return d, nil

@@ -56,7 +56,7 @@ func RunExtCritPath(c *Context) (*ExtCritPath, error) {
 	out := &ExtCritPath{}
 	benches := workload.Names()
 	out.Rows = make([]ExtCritPathRow, len(benches))
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		an := critpath.New()
 		if err := c.RunEvalPlain(bench, an); err != nil {
 			return err
@@ -129,7 +129,7 @@ func RunExtBranch(c *Context) (*ExtBranch, error) {
 	out := &ExtBranch{}
 	benches := workload.Names()
 	out.Rows = make([]ExtBranchRow, len(benches))
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		row := ExtBranchRow{Bench: bench}
 
 		// Perfect branches (the paper's model).
@@ -246,10 +246,12 @@ type ExtFCMRow struct {
 // RunExtFCM regenerates the FCM extension table.
 func RunExtFCM(c *Context) (*ExtFCM, error) {
 	out := &ExtFCM{}
-	for _, bench := range workload.Names() {
+	benches := workload.Names()
+	out.Rows = make([]ExtFCMRow, len(benches))
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		fcm, err := predictor.NewFCM(4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		consumer := trace.ConsumerFunc(func(r *trace.Record) {
 			if r.HasDest {
@@ -257,11 +259,11 @@ func RunExtFCM(c *Context) (*ExtFCM, error) {
 			}
 		})
 		if err := c.RunEvalPlain(bench, consumer); err != nil {
-			return nil, err
+			return err
 		}
 		col, err := c.EvalCollector(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		att, corr := fcm.Totals()
 		row := ExtFCMRow{Bench: bench, FCMAcc: stats.Pct(corr, att)}
@@ -289,7 +291,11 @@ func RunExtFCM(c *Context) (*ExtFCM, error) {
 		if static > 0 {
 			row.FCMOnly = 100 * float64(fcmOnly) / float64(static)
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -334,10 +340,12 @@ type ExtStoreValueRow struct {
 // RunExtStoreValue regenerates the store-value extension table.
 func RunExtStoreValue(c *Context) (*ExtStoreValue, error) {
 	out := &ExtStoreValue{}
-	for _, bench := range workload.Names() {
+	benches := workload.Names()
+	out.Rows = make([]ExtStoreValueRow, len(benches))
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		sc := profiler.NewStoreCollector()
 		if err := c.RunEvalPlain(bench, sc); err != nil {
-			return nil, err
+			return err
 		}
 		var att, corrS, corrL int64
 		var static, predictable int
@@ -360,7 +368,11 @@ func RunExtStoreValue(c *Context) (*ExtStoreValue, error) {
 		if static > 0 {
 			row.Predictable90 = 100 * float64(predictable) / float64(static)
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -47,7 +47,7 @@ func RunExtHybrid(c *Context) (*ExtHybrid, error) {
 	out := &ExtHybrid{}
 	benches := workload.Names()
 	out.Rows = make([]ExtHybridRow, len(benches))
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		row := ExtHybridRow{Bench: bench}
 
 		mono, err := predictor.NewTable(predictor.Stride, predictor.DefaultTableConfig)
@@ -135,7 +135,7 @@ func RunExtAutotune(c *Context) (*ExtAutotune, error) {
 	out.Rows = make([]ExtAutotuneRow, len(benches))
 	trainInput := workload.TrainingInputs(1)[0]
 
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		row := ExtAutotuneRow{Bench: bench}
 
 		// Tuning pass: measure ILP gain per threshold on a training
@@ -175,23 +175,25 @@ func RunExtAutotune(c *Context) (*ExtAutotune, error) {
 		row.TrainGain = bestGain
 
 		// Evaluation pass: the chosen threshold vs the hindsight oracle.
+		// The baseline and every threshold machine share one trace pass.
 		baseEval, err := ilp.New(ilp.DefaultConfig, nil)
 		if err != nil {
 			return err
 		}
-		if err := c.RunEvalPlain(bench, baseEval); err != nil {
+		cfgs := []SweepConfig{Plain(baseEval)}
+		machines := make([]*ilp.Machine, len(c.Thresholds))
+		for k, th := range c.Thresholds {
+			if machines[k], err = newProfileMachine(nil, 0); err != nil {
+				return err
+			}
+			cfgs = append(cfgs, Sweep(th, machines[k]))
+		}
+		if _, err := c.RunEvalSweep(bench, cfgs...); err != nil {
 			return err
 		}
 		row.BestEvalGain = -1e18
-		for _, th := range c.Thresholds {
-			m, err := newProfileMachine(nil, 0)
-			if err != nil {
-				return err
-			}
-			if err := c.RunEvalAnnotated(bench, th, m); err != nil {
-				return err
-			}
-			gain := m.Result().SpeedupOver(baseEval.Result())
+		for k, th := range c.Thresholds {
+			gain := machines[k].Result().SpeedupOver(baseEval.Result())
 			if th == row.Chosen {
 				row.EvalGain = gain
 			}

@@ -85,7 +85,7 @@ func RunExtSched(c *Context) (*ExtSched, error) {
 		}
 		return m.Result().ILP(), nil
 	}
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		annotated, _, err := c.Annotated(bench, 90)
 		if err != nil {
 			return err

@@ -46,9 +46,11 @@ func RunFiniteTable(c *Context) (*FiniteTable, error) {
 	out := &FiniteTable{Thresholds: c.Thresholds, Table: cfg}
 	benches := workload.Names()
 	out.Rows = make([]FiniteTableRow, len(benches))
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		row := FiniteTableRow{Bench: bench}
 
+		// FSM baseline plus every threshold configuration in one pass over
+		// the recorded trace; every configuration owns its own finite table.
 		fsmPolicy, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
 		if err != nil {
 			return err
@@ -58,27 +60,29 @@ func RunFiniteTable(c *Context) (*FiniteTable, error) {
 			return err
 		}
 		fsm := vpsim.NewFSMEngine(table, fsmPolicy)
-		if err := c.RunEvalPlain(bench, fsm); err != nil {
+		cfgs := []SweepConfig{Plain(fsm)}
+		ptables := make([]*predictor.Table, len(c.Thresholds))
+		profs := make([]*vpsim.Engine, len(c.Thresholds))
+		for k := range c.Thresholds {
+			ptables[k], err = predictor.NewTable(predictor.Stride, cfg)
+			if err != nil {
+				return err
+			}
+			profs[k] = vpsim.NewProfileEngine(ptables[k])
+			cfgs = append(cfgs, Sweep(c.Thresholds[k], profs[k]))
+		}
+		if _, err := c.RunEvalSweep(bench, cfgs...); err != nil {
 			return err
 		}
 		row.FSMCorrect = fsm.Stats().UsedCorrect
 		row.FSMIncorrect = fsm.Stats().UsedIncorrect
 		row.FSMEvictions = table.Evictions
-
-		for _, th := range c.Thresholds {
-			ptable, err := predictor.NewTable(predictor.Stride, cfg)
-			if err != nil {
-				return err
-			}
-			prof := vpsim.NewProfileEngine(ptable)
-			if err := c.RunEvalAnnotated(bench, th, prof); err != nil {
-				return err
-			}
+		for k := range c.Thresholds {
 			row.DeltaCorrect = append(row.DeltaCorrect,
-				deltaPct(prof.Stats().UsedCorrect, row.FSMCorrect))
+				deltaPct(profs[k].Stats().UsedCorrect, row.FSMCorrect))
 			row.DeltaIncorrect = append(row.DeltaIncorrect,
-				deltaPct(prof.Stats().UsedIncorrect, row.FSMIncorrect))
-			row.ProfEvictions = append(row.ProfEvictions, ptable.Evictions)
+				deltaPct(profs[k].Stats().UsedIncorrect, row.FSMIncorrect))
+			row.ProfEvictions = append(row.ProfEvictions, ptables[k].Evictions)
 		}
 		out.Rows[i] = row
 		return nil

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Outcome is one artifact regeneration from RunAll: the result (or the
+// error) plus the artifact's own wall-clock duration, measured inside the
+// worker so concurrent artifacts report their true cost rather than an
+// interleaved loop time.
+type Outcome struct {
+	Runner   Runner
+	Result   Result
+	Err      error
+	Duration time.Duration
+}
+
+// RunAll regenerates every runner against the shared Context, running up to
+// workers artifacts concurrently (0 selects parallel.DefaultLimit, 1 runs
+// them strictly sequentially in registry order). Outcomes come back in
+// runner order regardless of completion order, and each carries its own
+// error — one failing artifact does not suppress the others. The rendered
+// output of every artifact is bit-identical for any worker count: artifacts
+// share only the Context's single-flight caches (immutable once filled) and
+// every driver reduces in fixed benchmark order.
+func RunAll(c *Context, runners []Runner, workers int) []Outcome {
+	outs := make([]Outcome, len(runners))
+	// Errors are per-outcome, so the scheduler callback never fails and
+	// every artifact runs to completion.
+	_ = parallel.ForEach(context.Background(), workers, len(runners),
+		func(_ context.Context, i int) error {
+			start := time.Now()
+			res, err := runners[i].Run(c)
+			outs[i] = Outcome{
+				Runner:   runners[i],
+				Result:   res,
+				Err:      err,
+				Duration: time.Since(start),
+			}
+			return nil
+		})
+	return outs
+}

@@ -40,7 +40,20 @@ func RunTable21(c *Context) (*Table21, error) {
 	var intALU, intLoad tally
 	var fpComp, fpLoad, fpIntALU, fpIntLoad [profiler.NumPhases]tally
 
-	for _, bench := range workload.AllNames() {
+	// Fill the per-benchmark evaluation collectors concurrently; the tally
+	// below then reads the memoized results sequentially in fixed benchmark
+	// order, so the accumulated counts are order-independent and identical
+	// for any worker count.
+	benches := workload.AllNames()
+	err := c.forEachBench(benches, func(_ int, bench string) error {
+		_, err := c.EvalCollector(bench)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, bench := range benches {
 		spec, _ := workload.ByName(bench)
 		col, err := c.EvalCollector(bench)
 		if err != nil {

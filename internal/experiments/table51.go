@@ -36,32 +36,53 @@ func RunTable51(c *Context) (*Table51, error) {
 		PerBench:   make(map[string][]float64),
 	}
 	benches := workload.Names()
-	for _, bench := range benches {
-		fractions := make([]float64, len(c.Thresholds))
+	// Per-benchmark fan-out; each benchmark evaluates every threshold in a
+	// single pass over its recorded evaluation trace.
+	perBench := make([][]float64, len(benches))
+	perStatic := make([][]float64, len(benches))
+	err := c.forEachBench(benches, func(bi int, bench string) error {
+		type counter struct{ candidates, valueInsts int64 }
+		counts := make([]counter, len(c.Thresholds))
+		cfgs := make([]SweepConfig, len(c.Thresholds))
 		for i, th := range c.Thresholds {
-			var candidates, valueInsts int64
-			err := c.RunEvalAnnotated(bench, th, trace.ConsumerFunc(func(r *trace.Record) {
+			ct := &counts[i]
+			cfgs[i] = Sweep(th, trace.ConsumerFunc(func(r *trace.Record) {
 				if !r.HasDest {
 					return
 				}
-				valueInsts++
+				ct.valueInsts++
 				if r.Dir != isa.DirNone {
-					candidates++
+					ct.candidates++
 				}
 			}))
-			if err != nil {
-				return nil, err
-			}
-			fractions[i] = stats.Pct(candidates, valueInsts)
-			out.Dynamic[i] += fractions[i] / float64(len(benches))
-
+		}
+		if _, err := c.RunEvalSweep(bench, cfgs...); err != nil {
+			return err
+		}
+		fractions := make([]float64, len(c.Thresholds))
+		statics := make([]float64, len(c.Thresholds))
+		for i, th := range c.Thresholds {
+			fractions[i] = stats.Pct(counts[i].candidates, counts[i].valueInsts)
 			_, ast, err := c.Annotated(bench, th)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out.Static[i] += stats.Pct(int64(ast.Candidates()), int64(ast.Profiled)) / float64(len(benches))
+			statics[i] = stats.Pct(int64(ast.Candidates()), int64(ast.Profiled))
 		}
-		out.PerBench[bench] = fractions
+		perBench[bi], perStatic[bi] = fractions, statics
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reduce after the fan-out, in fixed benchmark order, so the
+	// floating-point averages are identical for any worker count.
+	for bi, bench := range benches {
+		for i := range c.Thresholds {
+			out.Dynamic[i] += perBench[bi][i] / float64(len(benches))
+			out.Static[i] += perStatic[bi][i] / float64(len(benches))
+		}
+		out.PerBench[bench] = perBench[bi]
 	}
 	return out, nil
 }

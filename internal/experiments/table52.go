@@ -38,19 +38,16 @@ func RunTable52(c *Context) (*Table52, error) {
 	cfg := predictor.DefaultTableConfig
 	benches := workload.Names()
 	out.Rows = make([]Table52Row, len(benches))
-	err := forEachBench(benches, func(i int, bench string) error {
+	err := c.forEachBench(benches, func(i int, bench string) error {
 		row := Table52Row{Bench: bench}
 
+		// The no-prediction baseline, the VP+SC machine, and one VP+Prof
+		// machine per threshold all consume a single pass over the recorded
+		// trace; each ILP machine schedules independently.
 		base, err := ilp.New(ilp.DefaultConfig, nil)
 		if err != nil {
 			return err
 		}
-		if err := c.RunEvalPlain(bench, base); err != nil {
-			return err
-		}
-		baseRes := base.Result()
-		row.BaseILP = baseRes.ILP()
-
 		fsmPolicy, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
 		if err != nil {
 			return err
@@ -63,26 +60,29 @@ func RunTable52(c *Context) (*Table52, error) {
 		if err != nil {
 			return err
 		}
-		if err := c.RunEvalPlain(bench, sc); err != nil {
-			return err
-		}
-		row.SCILP = sc.Result().ILP()
-		row.SC = sc.Result().SpeedupOver(baseRes)
-
-		for _, th := range c.Thresholds {
+		cfgs := []SweepConfig{Plain(base), Plain(sc)}
+		pms := make([]*ilp.Machine, len(c.Thresholds))
+		for k, th := range c.Thresholds {
 			ptable, err := predictor.NewTable(predictor.Stride, cfg)
 			if err != nil {
 				return err
 			}
-			pm, err := ilp.New(ilp.DefaultConfig, vpsim.NewProfileEngine(ptable))
+			pms[k], err = ilp.New(ilp.DefaultConfig, vpsim.NewProfileEngine(ptable))
 			if err != nil {
 				return err
 			}
-			if err := c.RunEvalAnnotated(bench, th, pm); err != nil {
-				return err
-			}
-			row.ProfILP = append(row.ProfILP, pm.Result().ILP())
-			row.Prof = append(row.Prof, pm.Result().SpeedupOver(baseRes))
+			cfgs = append(cfgs, Sweep(th, pms[k]))
+		}
+		if _, err := c.RunEvalSweep(bench, cfgs...); err != nil {
+			return err
+		}
+		baseRes := base.Result()
+		row.BaseILP = baseRes.ILP()
+		row.SCILP = sc.Result().ILP()
+		row.SC = sc.Result().SpeedupOver(baseRes)
+		for k := range c.Thresholds {
+			row.ProfILP = append(row.ProfILP, pms[k].Result().ILP())
+			row.Prof = append(row.Prof, pms[k].Result().SpeedupOver(baseRes))
 		}
 		out.Rows[i] = row
 		return nil

@@ -1,0 +1,130 @@
+// Package parallel is the fan-out scheduler of the evaluation engine: a
+// bounded worker pool that spreads independent, index-addressed work items
+// across cores while keeping results deterministic. The experiment drivers
+// use it for per-benchmark fan-out inside one artifact, and cmd/vpreport
+// uses it to regenerate independent artifacts concurrently.
+//
+// Determinism contract: every work item writes only its own index-addressed
+// slot, so the assembled result is identical for any worker count — the
+// scheduler changes *when* an item runs, never *what* it computes or where
+// the result lands. Error propagation is deterministic too: when several
+// items fail, the error of the lowest index wins, exactly the error a
+// sequential loop would have surfaced first.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLimit is the worker bound used when a caller passes limit ≤ 0:
+// GOMAXPROCS, the number of goroutines the runtime will actually execute
+// simultaneously. More workers than that only adds scheduling overhead for
+// the CPU-bound simulation work this package schedules.
+func DefaultLimit() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers resolves the worker count for n items under limit.
+func clampWorkers(n, limit int) int {
+	if limit <= 0 {
+		limit = DefaultLimit()
+	}
+	if limit > n {
+		limit = n
+	}
+	return limit
+}
+
+// ForEach runs f(ctx, i) for every i in [0, n) on at most limit workers
+// (limit ≤ 0 selects DefaultLimit). It returns when every started item has
+// finished.
+//
+// Cancellation and errors: the first failing item cancels the context passed
+// to the remaining items and stops the dispatch of items that have not
+// started; items already running are expected to observe ctx and wind down.
+// The returned error is the failure with the lowest index — the same error a
+// sequential loop over [0, n) would have returned — so error reporting is
+// independent of scheduling order. Items skipped because of the
+// cancellation report nothing.
+//
+// With limit 1 (or n ≤ 1) the items run sequentially on the calling
+// goroutine in index order, stopping at the first error: byte-for-byte the
+// plain loop this package replaces.
+func ForEach(ctx context.Context, limit, n int, f func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := clampWorkers(n, limit)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next atomic.Int64 // next index to dispatch
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n // index of firstErr; n = none
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					return
+				}
+				if err := f(ctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs f over [0, n) with at most limit workers and assembles the
+// results in index order. On error the partial slice is discarded and the
+// lowest-index error is returned (see ForEach for the full contract).
+func Map[T any](ctx context.Context, limit, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, limit, n, func(ctx context.Context, i int) error {
+		v, err := f(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

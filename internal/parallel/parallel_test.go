@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, limit := range []int{1, 2, 4, 0, 100} {
+		t.Run(fmt.Sprintf("limit=%d", limit), func(t *testing.T) {
+			const n = 57
+			var counts [n]atomic.Int64
+			err := ForEach(context.Background(), limit, n, func(_ context.Context, i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Errorf("index %d ran %d times, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	const n = 40
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, limit := range []int{1, 3, 16} {
+		got, err := Map(context.Background(), limit, n, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("limit=%d: got[%d]=%d, want %d", limit, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int64
+	err := ForEach(context.Background(), limit, 50, func(_ context.Context, i int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+// TestForEachLowestIndexError: whichever item fails first in wall-clock
+// time, the error reported is the one a sequential loop would have hit.
+func TestForEachLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	var mu sync.Mutex
+	started := map[int]bool{}
+	err := ForEach(context.Background(), 4, 8, func(_ context.Context, i int) error {
+		mu.Lock()
+		started[i] = true
+		mu.Unlock()
+		switch i {
+		case 2:
+			time.Sleep(20 * time.Millisecond) // fails late in wall-clock
+			return errLow
+		case 6:
+			return errHigh // fails early in wall-clock
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+func TestForEachCancellationStopsDispatch(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 2, 1000, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Give the failure time to cancel before more items dispatch.
+		select {
+		case <-ctx.Done():
+		case <-time.After(5 * time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("%d items ran after cancellation, want early stop", n)
+	}
+}
+
+func TestForEachSequentialLimitStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := ForEach(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(ran) != 4 || ran[3] != 3 {
+		t.Errorf("sequential run order %v, want [0 1 2 3]", ran)
+	}
+}
+
+func TestForEachHonorsPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 1, 5, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d items ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestMapErrorDiscardsPartialResults(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got != nil {
+		t.Errorf("partial results %v returned with error", got)
+	}
+}

@@ -79,6 +79,15 @@ type Run struct {
 
 	Annotation *Annotation `json:"annotation,omitempty"`
 	ILP        *ILP        `json:"ilp,omitempty"`
+
+	// Sweep holds the per-threshold runs of a multi-threshold evaluate
+	// (one entry per requested threshold, in request order), all produced
+	// from a single pass over the recorded trace. The top-level fields
+	// mirror the first threshold's run for backward compatibility.
+	// ReplayPassesSaved counts the trace replays the single-pass sweep
+	// avoided versus one replay per configuration.
+	Sweep             []*Run `json:"sweep,omitempty"`
+	ReplayPassesSaved int64  `json:"replay_passes_saved,omitempty"`
 }
 
 // SetStats fills the outcome counters and derived percentages from engine

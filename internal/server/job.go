@@ -66,6 +66,11 @@ type EvaluateRequest struct {
 	// Threshold, admit only tagged instructions).
 	Classifier string  `json:"classifier,omitempty"`
 	Threshold  float64 `json:"threshold,omitempty"`
+	// Thresholds requests a multi-threshold sweep (profile classifier
+	// only): the job evaluates every listed threshold against ONE pass
+	// over the recorded trace and returns one result per threshold in
+	// Run.Sweep. Mutually exclusive with Threshold.
+	Thresholds []float64 `json:"thresholds,omitempty"`
 
 	// ILP additionally times the run through the abstract ILP machine
 	// (40-entry window) against a no-prediction baseline of the same
@@ -86,9 +91,13 @@ func (r *EvaluateRequest) normalize() {
 		r.Assoc = predictor.DefaultTableConfig.Assoc
 	}
 	if r.Classifier == "" {
-		r.Classifier = "fsm"
+		if len(r.Thresholds) > 0 {
+			r.Classifier = "profile"
+		} else {
+			r.Classifier = "fsm"
+		}
 	}
-	if r.Threshold == 0 {
+	if r.Threshold == 0 && len(r.Thresholds) == 0 {
 		r.Threshold = annotate.DefaultOptions.AccuracyThreshold
 	}
 	if r.Scale <= 0 {
@@ -125,6 +134,19 @@ func (r *EvaluateRequest) validate() error {
 	if r.Threshold < 0 || r.Threshold > 100 {
 		return fmt.Errorf("threshold %g outside [0,100]", r.Threshold)
 	}
+	if len(r.Thresholds) > 0 {
+		if r.Classifier != "profile" {
+			return fmt.Errorf("a thresholds sweep requires the profile classifier")
+		}
+		if r.Threshold != 0 {
+			return fmt.Errorf("threshold and thresholds are mutually exclusive")
+		}
+		for _, th := range r.Thresholds {
+			if th < 0 || th > 100 {
+				return fmt.Errorf("sweep threshold %g outside [0,100]", th)
+			}
+		}
+	}
 	return nil
 }
 
@@ -134,12 +156,31 @@ func (r *EvaluateRequest) validate() error {
 func (r *EvaluateRequest) configKey() string {
 	key := fmt.Sprintf("%s/e%d/a%d/%s", r.Predictor, *r.Entries, r.Assoc, r.Classifier)
 	if r.Classifier == "profile" {
-		key += fmt.Sprintf("/t%g", r.Threshold)
+		if len(r.Thresholds) > 0 {
+			key += "/t"
+			for i, th := range r.Thresholds {
+				if i > 0 {
+					key += ","
+				}
+				key += fmt.Sprintf("%g", th)
+			}
+		} else {
+			key += fmt.Sprintf("/t%g", r.Threshold)
+		}
 	}
 	if r.ILP {
 		key += "/ilp"
 	}
 	return key
+}
+
+// sweepThresholds returns the thresholds a profile-classified request
+// evaluates: the sweep list, or the single Threshold.
+func (r *EvaluateRequest) sweepThresholds() []float64 {
+	if len(r.Thresholds) > 0 {
+		return r.Thresholds
+	}
+	return []float64{r.Threshold}
 }
 
 // predictorKind maps the request predictor name.
@@ -261,8 +302,14 @@ type annotation struct {
 func (s *Server) run(j *job) {
 	started := j.markStarted()
 	s.metrics.ObserveStage(stageQueueWait, started.Sub(j.enqueued))
+	s.metrics.WorkersBusy.Add(1)
 	defer func() {
 		finished := j.markFinished()
+		s.metrics.WorkersBusy.Add(-1)
+		// The execute histogram complements queue_wait: total = queue_wait
+		// + execute, so /metrics splits latency into "waiting for a worker"
+		// vs "doing the work".
+		s.metrics.ObserveStage(stageExecute, finished.Sub(started))
 		s.metrics.ObserveStage(stageTotal, finished.Sub(j.enqueued))
 		if j.err != nil {
 			if j.ctx.Err() != nil {
@@ -360,7 +407,12 @@ func (s *Server) resolveProgram(req *EvaluateRequest) (*program.Program, workloa
 	return p, workload.Input{}, nil
 }
 
-// compute runs the uncached pipeline for one (program, config) pair.
+// compute runs the uncached pipeline for one (program, config) pair. Every
+// requested configuration — the FSM engine or the per-threshold profile
+// engines, their ILP machines, and the shared no-prediction ILP baseline —
+// consumes ONE pass over the recorded trace via trace.MultiEval, so a
+// T-threshold sweep (or an ILP run, which previously replayed twice) costs
+// O(replay + T·table-update) instead of O(T·replay).
 func (s *Server) compute(ctx context.Context, p *program.Program, fp string, input workload.Input, req *EvaluateRequest) (*report.Run, error) {
 	rec, err := s.recordedTrace(p, fp)
 	if err != nil {
@@ -370,13 +422,20 @@ func (s *Server) compute(ctx context.Context, p *program.Program, fp string, inp
 		return nil, err
 	}
 
-	var anno *annotation
+	var (
+		ths   []float64
+		annos []*annotation
+	)
 	if req.Classifier == "profile" {
-		if anno, err = s.annotation(p, fp, req); err != nil {
-			return nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		ths = req.sweepThresholds()
+		annos = make([]*annotation, len(ths))
+		for i, th := range ths {
+			if annos[i], err = s.annotation(p, fp, req, th); err != nil {
+				return nil, err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -384,65 +443,90 @@ func (s *Server) compute(ctx context.Context, p *program.Program, fp string, inp
 	if err := faults.Inject(PointReplay); err != nil {
 		return nil, err
 	}
-	store, err := req.newStore()
-	if err != nil {
+	n := 1
+	if len(ths) > 0 {
+		n = len(ths)
+	}
+	engines := make([]*vpsim.Engine, n)
+	machines := make([]*ilp.Machine, n) // entries stay nil unless req.ILP
+	cfgs := make([]trace.EvalConfig, 0, n+1)
+	for i := 0; i < n; i++ {
+		store, err := req.newStore()
+		if err != nil {
+			return nil, err
+		}
+		if req.Classifier == "profile" {
+			engines[i] = vpsim.NewProfileEngine(store)
+		} else {
+			pol, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
+			if err != nil {
+				return nil, err
+			}
+			engines[i] = vpsim.NewFSMEngine(store, pol)
+		}
+		var consumer trace.Consumer = engines[i]
+		if req.ILP {
+			if machines[i], err = ilp.New(ilp.DefaultConfig, engines[i]); err != nil {
+				return nil, err
+			}
+			consumer = machines[i]
+		}
+		var dirs []isa.Directive
+		if annos != nil {
+			dirs = annos[i].dirs
+		}
+		cfgs = append(cfgs, trace.EvalConfig{Dirs: dirs, Consumer: consumer})
+	}
+	var base *ilp.Machine
+	if req.ILP {
+		if base, err = ilp.New(ilp.DefaultConfig, nil); err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, trace.EvalConfig{Consumer: base})
+	}
+	saved := rec.MultiEval(cfgs...)
+	s.metrics.TraceReplaySaved.Add(saved)
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var engine *vpsim.Engine
-	if req.Classifier == "profile" {
-		engine = vpsim.NewProfileEngine(store)
-	} else {
-		pol, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
-		if err != nil {
-			return nil, err
-		}
-		engine = vpsim.NewFSMEngine(store, pol)
-	}
 
-	out := &report.Run{
-		Program:     p.Name,
-		Fingerprint: fp,
-		Classifier:  req.Classifier,
-		Predictor:   report.Predictor{Kind: req.Predictor, Entries: *req.Entries, Assoc: req.Assoc},
+	var baseRes *ilp.Result
+	if base != nil {
+		res := base.Result()
+		baseRes = &res
 	}
-	if req.Bench != "" {
-		out.Input = input.String()
-	}
-	if anno != nil {
-		out.Threshold = req.Threshold
-		out.SetAnnotation(anno.stats)
-	}
-
-	replay := func(consumers ...trace.Consumer) {
-		if anno != nil {
-			rec.ReplayDirs(anno.dirs, consumers...)
-		} else {
-			rec.Replay(consumers...)
+	runs := make([]*report.Run, n)
+	for i := range runs {
+		out := &report.Run{
+			Program:      p.Name,
+			Fingerprint:  fp,
+			Instructions: rec.Len(),
+			Classifier:   req.Classifier,
+			Predictor:    report.Predictor{Kind: req.Predictor, Entries: *req.Entries, Assoc: req.Assoc},
 		}
+		if req.Bench != "" {
+			out.Input = input.String()
+		}
+		if annos != nil {
+			out.Threshold = ths[i]
+			out.SetAnnotation(annos[i].stats)
+		}
+		if machines[i] != nil {
+			out.SetILP(machines[i].Result(), baseRes)
+		}
+		out.SetStats(engines[i].Stats())
+		runs[i] = out
 	}
-	if req.ILP {
-		vp, err := ilp.New(ilp.DefaultConfig, engine)
-		if err != nil {
-			return nil, err
-		}
-		replay(vp)
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		base, err := ilp.New(ilp.DefaultConfig, nil)
-		if err != nil {
-			return nil, err
-		}
-		rec.Replay(base)
-		baseRes := base.Result()
-		out.SetILP(vp.Result(), &baseRes)
-	} else {
-		replay(engine)
+	// The top level mirrors the first threshold's run; a sweep attaches all
+	// per-threshold runs. Copy rather than alias runs[0] so the Sweep slice
+	// does not contain its own parent (which would cycle on marshal).
+	res := *runs[0]
+	if len(req.Thresholds) > 0 {
+		res.Sweep = runs
+		res.ReplayPassesSaved = saved
 	}
-	out.Instructions = rec.Len()
-	out.SetStats(engine.Stats())
 	s.metrics.ObserveStage(stageReplay, time.Since(t0))
-	return out, nil
+	return &res, nil
 }
 
 // recordedTrace executes the program once — under the server's guest
@@ -473,8 +557,8 @@ func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, 
 // training inputs, merge, annotate at the threshold. Submitted programs have
 // no input parameterization, so they are self-profiled from their own
 // recorded trace (documented in DESIGN.md §8).
-func (s *Server) annotation(p *program.Program, fp string, req *EvaluateRequest) (*annotation, error) {
-	key := fmt.Sprintf("%s|t%g", fp, req.Threshold)
+func (s *Server) annotation(p *program.Program, fp string, req *EvaluateRequest, th float64) (*annotation, error) {
+	key := fmt.Sprintf("%s|t%g", fp, th)
 	anno, _, err := s.annos.Do(key, func() (*annotation, error) {
 		t0 := time.Now()
 		if err := faults.Inject(PointAnnotate); err != nil {
@@ -485,7 +569,7 @@ func (s *Server) annotation(p *program.Program, fp string, req *EvaluateRequest)
 			return nil, err
 		}
 		opts := annotate.DefaultOptions
-		opts.AccuracyThreshold = req.Threshold
+		opts.AccuracyThreshold = th
 		ap, st, err := annotate.Apply(p, im, opts)
 		if err != nil {
 			return nil, err

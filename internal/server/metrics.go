@@ -126,14 +126,15 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 // stage names instrument the job pipeline.
 const (
 	stageQueueWait = "queue_wait" // submit → worker pickup
+	stageExecute   = "execute"    // worker pickup → result (total minus queue_wait)
 	stageResolve   = "resolve"    // name/id → program image + fingerprint
 	stageRecord    = "record"     // execute once into the trace recorder
 	stageAnnotate  = "annotate"   // profile + threshold annotation (profile classifier)
-	stageReplay    = "replay"     // trace replay through the prediction engine
+	stageReplay    = "replay"     // trace replay through the prediction engine(s)
 	stageTotal     = "total"      // submit → result
 )
 
-var stageNames = []string{stageQueueWait, stageResolve, stageRecord, stageAnnotate, stageReplay, stageTotal}
+var stageNames = []string{stageQueueWait, stageExecute, stageResolve, stageRecord, stageAnnotate, stageReplay, stageTotal}
 
 // Metrics aggregates the daemon's counters and histograms.
 type Metrics struct {
@@ -146,6 +147,13 @@ type Metrics struct {
 	PanicsRecovered      atomic.Int64 // guest/job panics converted to job errors
 	FuelExhausted        atomic.Int64 // jobs failed on a vm.Limits bound
 	ValidationRejections atomic.Int64 // malformed requests/images rejected up front
+
+	// WorkersBusy is a gauge of workers currently executing a job (0 ≤
+	// WorkersBusy ≤ pool size). TraceReplaySaved counts the trace-replay
+	// passes the single-pass MultiEval avoided versus one replay per
+	// configuration (DESIGN.md §10).
+	WorkersBusy      atomic.Int64
+	TraceReplaySaved atomic.Int64
 
 	stages map[string]*Histogram
 }
@@ -171,9 +179,10 @@ func (m *Metrics) ObserveStage(name string, d time.Duration) {
 
 // MetricsSnapshot is the /metrics response body.
 type MetricsSnapshot struct {
-	QueueDepth    int `json:"queue_depth"`
-	QueueCapacity int `json:"queue_capacity"`
-	Workers       int `json:"workers"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Workers       int   `json:"workers"`
+	WorkersBusy   int64 `json:"workers_busy"`
 
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
@@ -188,6 +197,10 @@ type MetricsSnapshot struct {
 	// per injection point.
 	FaultsInjected int64                        `json:"faults_injected"`
 	FaultPoints    map[string]faults.PointStats `json:"fault_points,omitempty"`
+
+	// TraceReplayPassesSaved totals the replay passes MultiEval merged away
+	// across all jobs (sweeps and ILP baselines share one trace pass).
+	TraceReplayPassesSaved int64 `json:"trace_replay_passes_saved"`
 
 	Caches map[string]CacheStats        `json:"caches"`
 	Stages map[string]HistogramSnapshot `json:"stages"`

@@ -205,6 +205,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		QueueDepth:    s.pool.depth(),
 		QueueCapacity: s.cfg.QueueDepth,
 		Workers:       s.cfg.Workers,
+		WorkersBusy:   s.metrics.WorkersBusy.Load(),
 		JobsCompleted: s.metrics.JobsCompleted.Load(),
 		JobsFailed:    s.metrics.JobsFailed.Load(),
 		JobsRejected:  s.metrics.JobsRejected.Load(),
@@ -213,6 +214,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		PanicsRecovered:      s.metrics.PanicsRecovered.Load(),
 		FuelExhausted:        s.metrics.FuelExhausted.Load(),
 		ValidationRejections: s.metrics.ValidationRejections.Load(),
+
+		TraceReplayPassesSaved: s.metrics.TraceReplaySaved.Load(),
 		FaultsInjected:       int64(faults.Fired()),
 		FaultPoints:          faults.Snapshot(),
 		Caches: map[string]CacheStats{

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestEvaluateThresholdSweep exercises the single-pass multi-threshold path:
+// one request with a thresholds list must return one run per threshold (in
+// request order), report the replay passes MultiEval saved, and agree
+// exactly with the equivalent single-threshold requests.
+func TestEvaluateThresholdSweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	ths := []float64{90, 70, 50}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{
+		Bench: "compress", Thresholds: ths, ILP: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep evaluate: %d\n%s", resp.StatusCode, raw)
+	}
+	run := decodeJob(t, raw).Result
+	if run == nil {
+		t.Fatal("sweep returned no result")
+	}
+	if len(run.Sweep) != len(ths) {
+		t.Fatalf("sweep length = %d, want %d", len(run.Sweep), len(ths))
+	}
+	// len(ths) engines + 1 shared ILP baseline = len(ths)+1 configs on one
+	// trace pass → len(ths) replays saved.
+	if want := int64(len(ths)); run.ReplayPassesSaved != want {
+		t.Fatalf("replay_passes_saved = %d, want %d", run.ReplayPassesSaved, want)
+	}
+	for i, sub := range run.Sweep {
+		if sub.Threshold != ths[i] {
+			t.Fatalf("sweep[%d].threshold = %g, want %g", i, sub.Threshold, ths[i])
+		}
+		if sub.Classifier != "profile" || sub.Annotation == nil || sub.ILP == nil {
+			t.Fatalf("sweep[%d] incomplete: %+v", i, sub)
+		}
+	}
+	// The top-level fields mirror the first threshold's run.
+	if run.Threshold != ths[0] || run.UsedCorrect != run.Sweep[0].UsedCorrect {
+		t.Fatalf("top-level run does not mirror sweep[0]: %+v vs %+v", run, run.Sweep[0])
+	}
+
+	// Each sweep entry must be byte-for-byte what a standalone request at
+	// that threshold computes (the determinism contract of MultiEval).
+	for i, th := range ths {
+		resp, raw := postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{
+			Bench: "compress", Classifier: "profile", Threshold: th, ILP: true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single evaluate t%g: %d\n%s", th, resp.StatusCode, raw)
+		}
+		single := decodeJob(t, raw).Result
+		got, err1 := json.Marshal(run.Sweep[i])
+		want, err2 := json.Marshal(single)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(got) != string(want) {
+			t.Errorf("sweep[%d] (t=%g) differs from standalone run:\nsweep:      %s\nstandalone: %s", i, th, got, want)
+		}
+	}
+}
+
+// TestSweepValidation rejects malformed sweep requests up front.
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, req := range []EvaluateRequest{
+		{Bench: "compress", Classifier: "fsm", Thresholds: []float64{90}},
+		{Bench: "compress", Threshold: 80, Thresholds: []float64{90}},
+		{Bench: "compress", Thresholds: []float64{90, 120}},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/evaluate", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %+v: status %d, want 400\n%s", req, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestMetricsSweepCounters asserts the new observability fields: the busy
+// gauge, the queue-wait vs execute split, and the saved-replay counter.
+func TestMetricsSweepCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, raw := postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{
+		Bench: "compress", Thresholds: []float64{90, 50},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep evaluate: %d\n%s", resp.StatusCode, raw)
+	}
+
+	var snap MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if snap.WorkersBusy < 0 || snap.WorkersBusy > int64(snap.Workers) {
+		t.Fatalf("workers_busy = %d outside [0,%d]", snap.WorkersBusy, snap.Workers)
+	}
+	// 2 thresholds on one pass → 1 saved.
+	if snap.TraceReplayPassesSaved < 1 {
+		t.Fatalf("trace_replay_passes_saved = %d, want ≥ 1", snap.TraceReplayPassesSaved)
+	}
+	exec, ok := snap.Stages[stageExecute]
+	if !ok || exec.Count < 1 {
+		t.Fatalf("execute stage missing or empty: %+v", snap.Stages)
+	}
+	if qw := snap.Stages[stageQueueWait]; qw.Count != exec.Count {
+		t.Fatalf("queue_wait count %d != execute count %d (split broken)", qw.Count, exec.Count)
+	}
+
+	// The raw JSON must actually carry the new field names (the snapshot
+	// struct could drift from the wire format silently otherwise).
+	var rawSnap map[string]json.RawMessage
+	getJSON(t, ts.URL+"/metrics", &rawSnap)
+	for _, field := range []string{"workers_busy", "trace_replay_passes_saved"} {
+		if _, ok := rawSnap[field]; !ok {
+			t.Errorf("/metrics missing field %q", field)
+		}
+	}
+}

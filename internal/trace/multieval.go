@@ -1,0 +1,79 @@
+package trace
+
+import "repro/internal/isa"
+
+// This file implements single-pass multi-configuration trace evaluation.
+// The Section 5 experiment drivers sweep one recorded trace across many
+// predictor/classifier configurations — the FSM baseline plus one
+// profile-annotated configuration per accuracy threshold. Replaying the
+// trace once per configuration re-reads the whole multi-megabyte buffer T
+// times; MultiEval walks the buffer exactly once and fans every record out
+// to all configurations, turning the sweep from O(configs × replay) into
+// O(replay + configs × table-update). Each configuration still observes
+// exactly the record sequence its own ReplayDirs/Replay call would have
+// produced, so per-configuration results are bit-identical to separate
+// replays (the equivalence is asserted by TestMultiEvalMatchesSeparateReplays).
+
+// EvalConfig is one independent evaluation configuration of a MultiEval
+// pass: a consumer plus the per-address directive table to patch into each
+// record before the consumer sees it. A nil Dirs replays the plain recorded
+// stream (the FSM baseline and no-prediction ILP machines); a non-nil Dirs
+// reproduces ReplayDirs for that annotation (out-of-range addresses patch to
+// DirNone). Configurations share nothing but the immutable trace: each
+// consumer owns its prediction tables, counters and statistics.
+type EvalConfig struct {
+	Dirs     []isa.Directive
+	Consumer Consumer
+}
+
+// MultiEval replays the recorded stream once, feeding every record to each
+// configuration. It returns the number of full replay passes saved versus
+// evaluating the configurations with one replay each (len(cfgs)-1, never
+// negative) — the quantity the vpserve trace_replay_passes_saved metric
+// accumulates.
+//
+// The walk is chunk-tiled: each storage chunk (≈0.9 MiB, comfortably
+// cache-resident) is run through every configuration's tight per-consumer
+// loop before the walk advances, so configurations 2..N read the chunk from
+// cache instead of re-streaming the multi-megabyte buffer from memory, and
+// the hot loop stays identical to Replay's (no per-record multi-config
+// dispatch). Every consumer still observes exactly the record sequence its
+// own ReplayDirs/Replay call would have produced — configurations share
+// nothing, so the tiling granularity is unobservable.
+//
+// Directive patching writes to a per-call scratch record, never to the
+// recorded buffer, so concurrent MultiEval/Replay calls on one sealed
+// Recorder are safe. Consumers receive records under the standard read-only,
+// duration-of-the-call contract.
+func (rc *Recorder) MultiEval(cfgs ...EvalConfig) int64 {
+	if len(cfgs) == 0 {
+		return 0
+	}
+	rc.passes.Add(1)
+	var scratch Record
+	remaining := rc.n
+	for _, chunk := range rc.chunks {
+		chunk = clip(chunk, remaining)
+		for _, cfg := range cfgs {
+			if cfg.Dirs == nil {
+				c := cfg.Consumer
+				for i := range chunk {
+					c.Consume(&chunk[i])
+				}
+				continue
+			}
+			dirs, c := cfg.Dirs, cfg.Consumer
+			for i := range chunk {
+				scratch = chunk[i]
+				if a := scratch.Addr; a >= 0 && a < int64(len(dirs)) {
+					scratch.Dir = dirs[a]
+				} else {
+					scratch.Dir = isa.DirNone
+				}
+				c.Consume(&scratch)
+			}
+		}
+		remaining -= int64(len(chunk))
+	}
+	return int64(len(cfgs) - 1)
+}

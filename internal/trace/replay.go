@@ -1,6 +1,10 @@
 package trace
 
-import "repro/internal/isa"
+import (
+	"sync/atomic"
+
+	"repro/internal/isa"
+)
 
 // This file implements the record-once/replay-many trace cache. A Recorder
 // captures a dynamic instruction stream into a flat chunked buffer; Replay
@@ -30,7 +34,14 @@ type Recorder struct {
 	chunks [][]Record
 	n      int64
 	sealed bool
+	passes atomic.Int64 // full replay passes over the buffer, for amortization accounting
 }
+
+// Passes reports how many full replay passes have walked the recorded
+// buffer (Replay, ReplayDirs and MultiEval each count one, however many
+// consumers they fed). The single-pass sweep tests and the vpserve
+// amortization metrics read it.
+func (rc *Recorder) Passes() int64 { return rc.passes.Load() }
 
 // NewRecorder returns an empty trace recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
@@ -71,6 +82,7 @@ func (rc *Recorder) Consume(r *Record) {
 // under the same contract as a live run: the record is only valid for the
 // duration of the Consume call, and consumers must not modify it.
 func (rc *Recorder) Replay(consumers ...Consumer) {
+	rc.passes.Add(1)
 	remaining := rc.n
 	if len(consumers) == 1 {
 		// The common fan-out, with the consumer interface loaded once.
@@ -103,6 +115,7 @@ func (rc *Recorder) Replay(consumers ...Consumer) {
 // patched in a scratch copy; the recorded buffer is never modified, keeping
 // concurrent replays safe.
 func (rc *Recorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
+	rc.passes.Add(1)
 	var single Consumer
 	if len(consumers) == 1 {
 		single = consumers[0]

@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_report.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
+BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
 SERVER_BENCHMARKS="${SERVER_BENCHMARKS:-^(BenchmarkServerEvaluateCached|BenchmarkServerEvaluateCachedParallel|BenchmarkServerEvaluateUncached)\$}"
 
 RAW_SIM="$(mktemp)"
@@ -26,6 +26,33 @@ trap 'rm -f "$RAW_SIM" "$RAW_SRV"' EXIT
 
 go test -run '^$' -bench "$BENCHMARKS" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW_SIM"
 go test -run '^$' -bench "$SERVER_BENCHMARKS" -benchmem -benchtime "$BENCHTIME" ./internal/server | tee "$RAW_SRV"
+
+# Derive baseline-vs-optimized speedups from paired sub-benchmarks
+# (sequential/parallel legs of the same benchmark share one trace and one
+# machine, so the ns/op ratio is the honest wall-clock win).
+emit_speedups() {
+    awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+}
+END {
+    n = split("BenchmarkThresholdSweep:reexecute:replay BenchmarkMultiEvalSweep:separate:multieval BenchmarkMultiEvalSweep:walkonly-separate:walkonly-multieval BenchmarkAllArtifactsParallel:sequential:parallel", specs, " ")
+    first = 1
+    for (s = 1; s <= n; s++) {
+        split(specs[s], f, ":")
+        base = ns[f[1] "/" f[2]]
+        opt = ns[f[1] "/" f[3]]
+        if (base == "" || opt == "" || opt + 0 == 0) continue
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"name\": \"%s\", \"baseline\": \"%s\", \"optimized\": \"%s\", \"speedup_vs_sequential\": %.3f}", f[1], f[2], f[3], base / opt
+    }
+    printf "\n"
+}
+' "$1"
+}
 
 # Convert `go test -bench` output lines into a JSON array body:
 #   BenchmarkFoo/bar-8  10  123 ns/op  45.6 Minstr/s  678 B/op  9 allocs/op
@@ -51,9 +78,12 @@ END { printf "\n" }
 
 {
     echo "{"
-    echo "  \"schema\": \"bench-report/v2\","
+    echo "  \"schema\": \"bench-report/v3\","
     echo "  \"benchmarks\": ["
     emit_entries "$RAW_SIM"
+    echo "  ],"
+    echo "  \"speedups\": ["
+    emit_speedups "$RAW_SIM"
     echo "  ],"
     echo "  \"server\": ["
     emit_entries "$RAW_SRV"

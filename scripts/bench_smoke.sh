@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI bench smoke for the single-pass sweep evaluator: re-runs
+# BenchmarkMultiEvalSweep and fails if the multieval-vs-separate speedup
+# regresses more than MAX_REGRESSION_PCT versus the committed
+# BENCH_report.json. The gate compares the speedup RATIO, not raw ns/op —
+# the committed report comes from a different machine than CI, so absolute
+# times are incomparable while the ratio (same trace, same engines, same
+# binary) isolates the optimization itself. Usage:
+#
+#   scripts/bench_smoke.sh [BENCH_report.json]
+#
+# Environment:
+#   BENCHTIME          go test -benchtime value (default 1s)
+#   BENCHCOUNT         go test -count value (default 5); the gate uses the
+#                      per-leg MINIMUM across counts — the standard
+#                      noise-robust estimator on shared CI machines, where a
+#                      single interval can be off by ±35% from CPU steal
+#   MAX_REGRESSION_PCT allowed speedup loss in percent (default 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPORT="${1:-BENCH_report.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCHCOUNT="${BENCHCOUNT:-5}"
+MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-20}"
+
+# Gate on the walkonly pair: it isolates the pass-merging machinery from
+# predictor-table work, so its ratio is stable where the engine pair's is
+# not (engine updates dominate the walk and swing with machine noise).
+committed=$(grep -o '"optimized": "walkonly-multieval", "speedup_vs_sequential": [0-9.]*' "$REPORT" \
+    | head -1 | awk '{print $NF}')
+if [[ -z "$committed" ]]; then
+    echo "bench_smoke: no BenchmarkMultiEvalSweep walkonly speedup in $REPORT (run scripts/bench.sh)" >&2
+    exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench '^BenchmarkMultiEvalSweep/walkonly' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW"
+
+awk -v committed="$committed" -v max="$MAX_REGRESSION_PCT" '
+/^BenchmarkMultiEvalSweep\/walkonly-separate/  { if (sep == "" || $3 + 0 < sep + 0) sep = $3 }
+/^BenchmarkMultiEvalSweep\/walkonly-multieval/ { if (multi == "" || $3 + 0 < multi + 0) multi = $3 }
+END {
+    if (sep == "" || multi == "" || multi + 0 == 0) {
+        print "bench_smoke: benchmark produced no ns/op numbers" > "/dev/stderr"
+        exit 1
+    }
+    cur = sep / multi
+    floor = committed * (1 - max / 100)
+    printf "bench_smoke: multieval speedup %.3fx (committed %.3fx, floor %.3fx)\n", cur, committed, floor
+    if (cur < floor) {
+        printf "bench_smoke: FAIL — single-pass sweep regressed more than %s%%\n", max > "/dev/stderr"
+        exit 1
+    }
+    print "bench_smoke: OK"
+}' "$RAW"
