@@ -38,6 +38,8 @@ func main() {
 		outDir = flag.String("o", "", "also write each artifact to <dir>/<id>.txt")
 		par    = flag.Int("parallel", parallel.DefaultLimit(), "max concurrent artifacts and per-artifact workers (1 = sequential)")
 
+		traceMem = flag.Int64("trace-mem-budget", 0, "resident bytes budget per recorded trace before chunks spill to disk (0 = unlimited)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -84,6 +86,7 @@ func main() {
 	ctx := experiments.NewContext()
 	ctx.NumTrainInputs = *n
 	ctx.Workers = *par
+	ctx.TraceMemBudget = *traceMem
 	ths, err := parseThresholds(*thresh)
 	if err != nil {
 		fatal(err)

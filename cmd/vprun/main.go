@@ -42,6 +42,7 @@ func main() {
 		assoc      = flag.Int("assoc", 2, "prediction-table associativity")
 		classifier = flag.String("classifier", "fsm", "classifier: fsm or profile")
 		tracePath  = flag.String("trace", "", "write the dynamic trace to this file")
+		traceFmt   = flag.String("trace-format", "v2", "trace file format: v2 (columnar compressed, default) or v1 (legacy fixed records)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (the vpserve report.Run schema)")
 	)
@@ -108,12 +109,16 @@ func main() {
 	consumers := []trace.Consumer{engine}
 	var tw *trace.Writer
 	if *tracePath != "" {
+		format, err := trace.ParseFormat(*traceFmt)
+		if err != nil {
+			fatal(err)
+		}
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		tw, err = trace.NewWriter(f)
+		tw, err = trace.NewWriterFormat(f, format)
 		if err != nil {
 			fatal(err)
 		}

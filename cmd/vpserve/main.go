@@ -35,14 +35,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "job-queue depth")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout (queue wait included)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
-		train   = flag.Int("train", 0, "training inputs for profile-classified benchmark runs (0 = paper's n=5)")
-		results = flag.Int("result-cache", 1024, "result-cache entries")
-		traces  = flag.Int("trace-cache", 32, "trace-cache entries (each can hold a full benchmark trace)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "job-queue depth")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout (queue wait included)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		train    = flag.Int("train", 0, "training inputs for profile-classified benchmark runs (0 = paper's n=5)")
+		results  = flag.Int("result-cache", 1024, "result-cache entries")
+		traces   = flag.Int("trace-cache", 32, "trace-cache entries (each can hold a full benchmark trace)")
+		traceMem = flag.Int64("trace-mem-budget", 0, "resident bytes budget per recorded trace before chunks spill to disk (0 = unlimited)")
 
 		maxSteps  = flag.Int64("max-steps", 0, "guest sandbox: max retired instructions per run (0 = default, -1 = unlimited)")
 		maxMem    = flag.Int64("max-mem", 0, "guest sandbox: max data-memory words per run (0 = default, -1 = unlimited)")
@@ -81,6 +82,7 @@ func main() {
 		TrainInputs:    *train,
 		ResultCache:    *results,
 		TraceCache:     *traces,
+		TraceMemBudget: *traceMem,
 		Limits:         limits,
 	})
 

@@ -108,6 +108,7 @@ func main() {
 	}
 
 	if *stats {
+		fmt.Printf("format:             %s\n", r.Format())
 		fmt.Printf("records:            %d\n", total)
 		fmt.Printf("value producers:    %d (%.1f%%)\n", valueProds, pct(valueProds, total))
 		fmt.Printf("loads:              %d\n", loads)

@@ -54,6 +54,12 @@ type Context struct {
 	// only its own index-addressed slot and all floating-point reductions
 	// happen after the fan-out, in fixed benchmark order.
 	Workers int
+	// TraceMemBudget bounds the encoded bytes each recorded evaluation
+	// trace keeps resident in memory; chunks past the budget spill to a
+	// temporary file and stream back during replay. ≤ 0 keeps traces fully
+	// resident. Replay results are bit-identical either way — the budget
+	// trades replay bandwidth for memory, never accuracy.
+	TraceMemBudget int64
 
 	mu         sync.Mutex
 	trainCache map[string]*cell[[]*profiler.Image]
@@ -148,6 +154,7 @@ func (c *Context) MergedTrainImage(bench string) (*profiler.Image, error) {
 func (c *Context) EvalTrace(bench string) (*trace.Recorder, error) {
 	return memoize(&c.mu, c.traceCache, bench, func() (*trace.Recorder, error) {
 		rec := trace.NewRecorder()
+		rec.SetMemBudget(c.TraceMemBudget)
 		if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), rec); err != nil {
 			return nil, fmt.Errorf("experiments: record %s evaluation trace: %w", bench, err)
 		}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/ilp"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/vpsim"
+	"repro/internal/workload"
+)
+
+// recordTriple runs the benchmark's evaluation input exactly once, recording
+// the same live stream into the AoS baseline store, the columnar store, and
+// a columnar store forced to spill every chunk.
+func recordTriple(t *testing.T, bench string) (*trace.AoSRecorder, *trace.Recorder, *trace.Recorder) {
+	t.Helper()
+	aos := trace.NewAoSRecorder()
+	col := trace.NewRecorder()
+	spill := trace.NewRecorder()
+	spill.SetMemBudget(1)
+	if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), trace.Tee{aos, col, spill}); err != nil {
+		t.Fatal(err)
+	}
+	aos.Seal()
+	col.Seal()
+	spill.Seal()
+	if spill.SpilledChunks() == 0 {
+		t.Fatalf("%s: 1-byte budget spilled nothing", bench)
+	}
+	t.Cleanup(func() { spill.Close() })
+	return aos, col, spill
+}
+
+type engineMaker struct {
+	name string
+	mk   func(t *testing.T) *vpsim.Engine
+}
+
+// schemeMakers covers every predictor scheme family: FSM and profile
+// classification, stride and last-value prediction, finite and infinite
+// tables, plus the hybrid table.
+func schemeMakers(t *testing.T) []engineMaker {
+	mkFSM := func(kind predictor.Kind) func(t *testing.T) *vpsim.Engine {
+		return func(t *testing.T) *vpsim.Engine {
+			table, err := predictor.NewTable(kind, predictor.DefaultTableConfig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol, err := classify.NewFSMPolicy(classify.DefaultSatCounter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return vpsim.NewFSMEngine(table, pol)
+		}
+	}
+	mkProfile := func(kind predictor.Kind) func(t *testing.T) *vpsim.Engine {
+		return func(t *testing.T) *vpsim.Engine {
+			table, err := predictor.NewTable(kind, predictor.DefaultTableConfig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return vpsim.NewProfileEngine(table)
+		}
+	}
+	return []engineMaker{
+		{"fsm-stride", mkFSM(predictor.Stride)},
+		{"fsm-lastvalue", mkFSM(predictor.LastValue)},
+		{"profile-stride", mkProfile(predictor.Stride)},
+		{"profile-lastvalue", mkProfile(predictor.LastValue)},
+		{"infinite-stride", func(t *testing.T) *vpsim.Engine {
+			return vpsim.NewProfileEngine(predictor.NewInfinite(predictor.Stride))
+		}},
+		{"hybrid", func(t *testing.T) *vpsim.Engine {
+			h, err := predictor.NewHybrid(predictor.DefaultHybridConfig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return vpsim.NewHybridEngine(h)
+		}},
+	}
+}
+
+// TestSchemesAoSColumnarSpilled proves every predictor scheme observes a
+// bit-identical stream from the three trace stores, through Replay,
+// ReplayDirs and MultiEval alike, and that the ILP timing model agrees too.
+func TestSchemesAoSColumnarSpilled(t *testing.T) {
+	const bench = "compress"
+	aos, col, spill := recordTriple(t, bench)
+	if aos.Len() != col.Len() || col.Len() != spill.Len() {
+		t.Fatalf("store lengths differ: aos=%d col=%d spill=%d", aos.Len(), col.Len(), spill.Len())
+	}
+
+	c := diffContext(1)
+	p, _, err := c.Annotated(bench, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := trace.DirsOf(p.Text)
+
+	for _, m := range schemeMakers(t) {
+		// Plain replay.
+		ea, ec, es := m.mk(t), m.mk(t), m.mk(t)
+		aos.Replay(ea)
+		col.Replay(ec)
+		spill.Replay(es)
+		if ea.Stats() != ec.Stats() || ec.Stats() != es.Stats() {
+			t.Errorf("%s/Replay: aos %+v, columnar %+v, spilled %+v", m.name, ea.Stats(), ec.Stats(), es.Stats())
+		}
+		// Directive-patched replay.
+		da, dc, ds := m.mk(t), m.mk(t), m.mk(t)
+		aos.ReplayDirs(dirs, da)
+		col.ReplayDirs(dirs, dc)
+		spill.ReplayDirs(dirs, ds)
+		if da.Stats() != dc.Stats() || dc.Stats() != ds.Stats() {
+			t.Errorf("%s/ReplayDirs: aos %+v, columnar %+v, spilled %+v", m.name, da.Stats(), dc.Stats(), ds.Stats())
+		}
+		// Single-pass multi-configuration evaluation.
+		ma1, ma2 := m.mk(t), m.mk(t)
+		mc1, mc2 := m.mk(t), m.mk(t)
+		ms1, ms2 := m.mk(t), m.mk(t)
+		aos.MultiEval(trace.EvalConfig{Consumer: ma1}, trace.EvalConfig{Dirs: dirs, Consumer: ma2})
+		col.MultiEval(trace.EvalConfig{Consumer: mc1}, trace.EvalConfig{Dirs: dirs, Consumer: mc2})
+		spill.MultiEval(trace.EvalConfig{Consumer: ms1}, trace.EvalConfig{Dirs: dirs, Consumer: ms2})
+		if ma1.Stats() != mc1.Stats() || mc1.Stats() != ms1.Stats() ||
+			ma2.Stats() != mc2.Stats() || mc2.Stats() != ms2.Stats() {
+			t.Errorf("%s/MultiEval: stats diverge across stores", m.name)
+		}
+	}
+
+	// ILP timing model across the three stores.
+	mkILP := func() *ilp.Machine {
+		m, err := ilp.New(ilp.DefaultConfig, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ia, ic, is := mkILP(), mkILP(), mkILP()
+	aos.Replay(ia)
+	col.Replay(ic)
+	spill.Replay(is)
+	if ia.Result() != ic.Result() || ic.Result() != is.Result() {
+		t.Errorf("ILP: aos %+v, columnar %+v, spilled %+v", ia.Result(), ic.Result(), is.Result())
+	}
+}
+
+// TestSpillBudgetRegistryDeterminism is the end-to-end spill equivalence
+// gate: the full registry rendered with fully resident traces and with a
+// 1-byte trace memory budget (every chunk spilled and streamed back from
+// disk) must match byte-for-byte.
+func TestSpillBudgetRegistryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry twice")
+	}
+	runners := append(append([]Runner{}, Registry...), ExtRegistry...)
+	render := func(budget int64) []string {
+		c := diffContext(0)
+		c.TraceMemBudget = budget
+		outs := RunAll(c, runners, 0)
+		texts := make([]string, len(outs))
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("budget=%d %s: %v", budget, o.Runner.ID, o.Err)
+			}
+			texts[i] = o.Result.Render()
+		}
+		if budget > 0 {
+			spilled := int64(0)
+			for _, bench := range workload.Names() {
+				rec, err := c.EvalTrace(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spilled += rec.SpilledChunks()
+			}
+			if spilled == 0 {
+				t.Fatal("budgeted run spilled nothing — spill path not exercised")
+			}
+		}
+		return texts
+	}
+	resident := render(0)
+	spilled := render(1)
+	for i := range resident {
+		if resident[i] != spilled[i] {
+			t.Errorf("%s renders differently with spilled traces:\n--- resident ---\n%s\n--- spilled ---\n%s",
+				runners[i].ID, resident[i], spilled[i])
+		}
+	}
+}

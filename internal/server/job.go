@@ -515,6 +515,7 @@ func (s *Server) compute(ctx context.Context, p *program.Program, fp string, inp
 			out.SetILP(machines[i].Result(), baseRes)
 		}
 		out.SetStats(engines[i].Stats())
+		out.SetTraceStorage(rec)
 		runs[i] = out
 	}
 	// The top level mirrors the first threshold's run; a sweep attaches all
@@ -539,6 +540,7 @@ func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, 
 			return nil, err
 		}
 		rec := trace.NewRecorder()
+		rec.SetMemBudget(s.cfg.TraceMemBudget)
 		if _, err := workload.RunConfig(p, s.vmConfig(), rec); err != nil {
 			return nil, err
 		}
@@ -546,6 +548,10 @@ func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, 
 		// goroutines: concurrent replays are safe, further recording
 		// panics.
 		rec.Seal()
+		s.metrics.TraceBytesResident.Add(rec.BytesResident())
+		s.metrics.TraceChunksSpilled.Add(rec.SpilledChunks())
+		s.metrics.TraceRecords.Add(rec.Len())
+		s.metrics.TraceEncodedBytes.Add(rec.EncodedBytes())
 		s.metrics.ObserveStage(stageRecord, time.Since(t0))
 		return rec, nil
 	})

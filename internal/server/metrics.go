@@ -155,6 +155,16 @@ type Metrics struct {
 	WorkersBusy      atomic.Int64
 	TraceReplaySaved atomic.Int64
 
+	// Trace-storage accounting (DESIGN.md §11). TraceBytesResident is a
+	// gauge of encoded trace bytes held in memory across the trace cache
+	// (recording adds, eviction subtracts); TraceChunksSpilled counts chunks
+	// written to spill files; TraceRecords/TraceEncodedBytes accumulate over
+	// every recorded trace and yield the observed codec bytes-per-record.
+	TraceBytesResident atomic.Int64
+	TraceChunksSpilled atomic.Int64
+	TraceRecords       atomic.Int64
+	TraceEncodedBytes  atomic.Int64
+
 	stages map[string]*Histogram
 }
 
@@ -201,6 +211,13 @@ type MetricsSnapshot struct {
 	// TraceReplayPassesSaved totals the replay passes MultiEval merged away
 	// across all jobs (sweeps and ILP baselines share one trace pass).
 	TraceReplayPassesSaved int64 `json:"trace_replay_passes_saved"`
+
+	// Trace storage: encoded bytes currently resident across cached traces,
+	// chunks spilled to disk under the trace memory budget, and the observed
+	// columnar-codec cost per record across everything recorded so far.
+	TraceBytesResident       int64   `json:"trace_bytes_resident"`
+	TraceChunksSpilled       int64   `json:"trace_chunks_spilled"`
+	TraceCodecBytesPerRecord float64 `json:"trace_codec_bytes_per_record"`
 
 	Caches map[string]CacheStats        `json:"caches"`
 	Stages map[string]HistogramSnapshot `json:"stages"`

@@ -59,6 +59,11 @@ type Config struct {
 	ProgramCache int
 	// MaxJobs bounds the finished-job registry (default 4096).
 	MaxJobs int
+	// TraceMemBudget bounds the encoded bytes each recorded trace keeps
+	// resident in memory; chunks past the budget spill to a temporary file
+	// and stream back during replay. ≤ 0 (the default) keeps traces fully
+	// resident. Results are bit-identical either way.
+	TraceMemBudget int64
 	// Limits sandboxes guest execution (recording and profiling runs).
 	// A zero value takes DefaultLimits; set a field to -1 to disable that
 	// limit (the vm treats non-positive limits as unlimited).
@@ -152,6 +157,12 @@ func New(cfg Config) *Server {
 	s.images.OnPanic = onPanic
 	s.annos.OnPanic = onPanic
 	s.programs.OnPanic = onPanic
+	// Keep the resident-bytes gauge in step with the trace cache. Eviction
+	// only unaccounts the memory — the recorder itself (and any spill file
+	// descriptor) is released by the GC once in-flight replays drop it.
+	s.traces.OnEvict = func(rec *trace.Recorder) {
+		s.metrics.TraceBytesResident.Add(-rec.BytesResident())
+	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.run)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -216,8 +227,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		ValidationRejections: s.metrics.ValidationRejections.Load(),
 
 		TraceReplayPassesSaved: s.metrics.TraceReplaySaved.Load(),
-		FaultsInjected:       int64(faults.Fired()),
-		FaultPoints:          faults.Snapshot(),
+		TraceBytesResident:     s.metrics.TraceBytesResident.Load(),
+		TraceChunksSpilled:     s.metrics.TraceChunksSpilled.Load(),
+		FaultsInjected:         int64(faults.Fired()),
+		FaultPoints:            faults.Snapshot(),
 		Caches: map[string]CacheStats{
 			"results":  s.results.Stats(),
 			"traces":   s.traces.Stats(),
@@ -226,6 +239,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"programs": s.programs.Stats(),
 		},
 		Stages: make(map[string]HistogramSnapshot, len(stageNames)),
+	}
+	if recs := s.metrics.TraceRecords.Load(); recs > 0 {
+		snap.TraceCodecBytesPerRecord = float64(s.metrics.TraceEncodedBytes.Load()) / float64(recs)
 	}
 	for _, name := range stageNames {
 		snap.Stages[name] = s.metrics.Stage(name).Snapshot()

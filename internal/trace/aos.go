@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"repro/internal/isa"
+)
+
+// AoSRecorder is the reference array-of-structs trace store: plain Record
+// chunks, no compression, no spill. It is the differential baseline the
+// columnar Recorder is proven bit-identical against (see the differential
+// tests here and in internal/experiments) and the memory/throughput
+// baseline the BenchmarkTraceStore pair measures, preserving the exact
+// pre-columnar replay hot loop. Production code paths use Recorder.
+type AoSRecorder struct {
+	chunks [][]Record
+	n      int64
+	sealed bool
+	passes atomic.Int64
+}
+
+// NewAoSRecorder returns an empty array-of-structs recorder.
+func NewAoSRecorder() *AoSRecorder { return &AoSRecorder{} }
+
+// Passes reports how many full replay passes have walked the buffer.
+func (rc *AoSRecorder) Passes() int64 { return rc.passes.Load() }
+
+// Len returns the number of recorded records.
+func (rc *AoSRecorder) Len() int64 { return rc.n }
+
+// Bytes returns the approximate in-memory size of the recorded trace.
+func (rc *AoSRecorder) Bytes() int64 {
+	return int64(len(rc.chunks)) * recorderChunkSize * recordMemBytes
+}
+
+// Seal marks recording complete; Consume panics afterwards.
+func (rc *AoSRecorder) Seal() { rc.sealed = true }
+
+// Sealed reports whether the recorder has been sealed.
+func (rc *AoSRecorder) Sealed() bool { return rc.sealed }
+
+// Consume implements Consumer by appending a copy of r.
+func (rc *AoSRecorder) Consume(r *Record) {
+	if rc.sealed {
+		panic("trace: Consume on a sealed AoSRecorder (recording after publication)")
+	}
+	i := int(rc.n % recorderChunkSize)
+	if i == 0 {
+		rc.chunks = append(rc.chunks, make([]Record, recorderChunkSize))
+	}
+	rc.chunks[len(rc.chunks)-1][i] = *r
+	rc.n++
+}
+
+// Replay feeds the recorded stream to the consumers in order, handing out
+// pointers into the recorded buffer with no per-record copy.
+func (rc *AoSRecorder) Replay(consumers ...Consumer) {
+	rc.passes.Add(1)
+	remaining := rc.n
+	if len(consumers) == 1 {
+		c := consumers[0]
+		for _, chunk := range rc.chunks {
+			chunk = clip(chunk, remaining)
+			for i := range chunk {
+				c.Consume(&chunk[i])
+			}
+			remaining -= int64(len(chunk))
+		}
+		return
+	}
+	for _, chunk := range rc.chunks {
+		chunk = clip(chunk, remaining)
+		for i := range chunk {
+			for _, c := range consumers {
+				c.Consume(&chunk[i])
+			}
+		}
+		remaining -= int64(len(chunk))
+	}
+}
+
+// ReplayDirs replays the recorded stream with each record's directive
+// overridden by dirs[Addr] (DirNone outside dirs), patching a scratch copy.
+func (rc *AoSRecorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
+	rc.passes.Add(1)
+	var single Consumer
+	if len(consumers) == 1 {
+		single = consumers[0]
+	}
+	var rec Record
+	remaining := rc.n
+	for _, chunk := range rc.chunks {
+		chunk = clip(chunk, remaining)
+		for i := range chunk {
+			rec = chunk[i]
+			if a := rec.Addr; a >= 0 && a < int64(len(dirs)) {
+				rec.Dir = dirs[a]
+			} else {
+				rec.Dir = isa.DirNone
+			}
+			if single != nil {
+				single.Consume(&rec)
+			} else {
+				for _, c := range consumers {
+					c.Consume(&rec)
+				}
+			}
+		}
+		remaining -= int64(len(chunk))
+	}
+}
+
+// MultiEval replays the recorded stream once, feeding every record to each
+// configuration — the AoS twin of Recorder.MultiEval.
+func (rc *AoSRecorder) MultiEval(cfgs ...EvalConfig) int64 {
+	if len(cfgs) == 0 {
+		return 0
+	}
+	rc.passes.Add(1)
+	var scratch Record
+	remaining := rc.n
+	for _, chunk := range rc.chunks {
+		chunk = clip(chunk, remaining)
+		for _, cfg := range cfgs {
+			if cfg.Dirs == nil {
+				c := cfg.Consumer
+				for i := range chunk {
+					c.Consume(&chunk[i])
+				}
+				continue
+			}
+			dirs, c := cfg.Dirs, cfg.Consumer
+			for i := range chunk {
+				scratch = chunk[i]
+				if a := scratch.Addr; a >= 0 && a < int64(len(dirs)) {
+					scratch.Dir = dirs[a]
+				} else {
+					scratch.Dir = isa.DirNone
+				}
+				c.Consume(&scratch)
+			}
+		}
+		remaining -= int64(len(chunk))
+	}
+	return int64(len(cfgs) - 1)
+}
+
+// clip bounds a chunk to the records actually written (the final chunk is
+// generally only partially filled).
+func clip(chunk []Record, remaining int64) []Record {
+	if int64(len(chunk)) > remaining {
+		return chunk[:remaining]
+	}
+	return chunk
+}

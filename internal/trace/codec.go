@@ -1,0 +1,360 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// This file implements the columnar chunk codec shared by the in-memory
+// Recorder, the spill file, and the VPTRC02 trace-file format. A chunk of
+// records is transposed into packed structure-of-arrays columns so each
+// field compresses against its own neighbors:
+//
+//	uvarint  count                     records in the chunk
+//	[count]byte   op                   opcode, one byte each
+//	[count]byte   flags                bit0 HasDest, bit1 DestFP, bit2 Taken,
+//	                                   bit3 HasMem, bits4-5 Dir
+//	[count]byte   dest                 destination register
+//	[2*count]byte reads               per operand: bit7 Valid, bit6 FP,
+//	                                   bits0-5 Reg
+//	then five varint columns, each prefixed by a uvarint byte length:
+//	  addr   zigzag delta vs the previous record's Addr    (first vs 0)
+//	  value  zigzag raw produced value
+//	  mem    zigzag delta vs the previous record's MemAddr (first vs 0)
+//	  phase  zigzag delta vs the previous record's Phase   (first vs 0)
+//	  seq    zigzag delta vs the record's position firstSeq+i
+//	         (present only when the chunk is encoded withSeq; the VPTRC02
+//	         file format omits it and derives Seq from position)
+//
+// Instruction addresses advance by small deltas, produced values and memory
+// addresses cluster, phases almost never change and sequence numbers are
+// positional, so the common record costs ~10 bytes against 56 bytes for the
+// in-memory Record struct and 40 bytes for the fixed VPTRC01 file encoding.
+// Chunks are self-contained (every delta chain restarts at the chunk
+// boundary), which is what lets the Recorder spill and reload them
+// independently and lets a file reader resynchronize per frame.
+//
+// The codec preserves records with canonical ISA field ranges exactly:
+// Dir < 4 (isa defines 3 directives), register numbers < 64 (the files have
+// packed operands into 6 bits since VPTRC01; the ISA defines 32+32
+// registers). The VM can produce nothing else.
+
+// chunkColumns is the number of varint columns when seq is included.
+const chunkColumns = 5
+
+// chunkEncoder encodes record slices into the packed columnar form. The
+// per-column scratch buffers are reused across chunks, so a long recording
+// allocates only the retained chunk encodings.
+type chunkEncoder struct {
+	addr, value, mem, phase, seq []byte
+}
+
+// zigzag/zagzig mirror encoding/binary's varint transform for signed ints.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func zagzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendZigzag appends the zigzag varint of v to dst.
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, zigzag(v))
+}
+
+// encode appends the columnar encoding of recs to dst and returns the
+// extended slice. firstSeq is the stream position of recs[0]; withSeq
+// selects whether the seq column is emitted (the in-memory Recorder keeps
+// it for bit-identical replay of arbitrary streams, the file format drops
+// it).
+func (e *chunkEncoder) encode(dst []byte, recs []Record, firstSeq int64, withSeq bool) []byte {
+	e.addr, e.value, e.mem, e.phase, e.seq =
+		e.addr[:0], e.value[:0], e.mem[:0], e.phase[:0], e.seq[:0]
+	var prevAddr, prevMem, prevPhase int64
+	for i := range recs {
+		r := &recs[i]
+		e.addr = appendZigzag(e.addr, r.Addr-prevAddr)
+		prevAddr = r.Addr
+		e.value = appendZigzag(e.value, r.Value)
+		e.mem = appendZigzag(e.mem, r.MemAddr-prevMem)
+		prevMem = r.MemAddr
+		e.phase = appendZigzag(e.phase, int64(r.Phase)-prevPhase)
+		prevPhase = int64(r.Phase)
+		if withSeq {
+			e.seq = appendZigzag(e.seq, r.Seq-(firstSeq+int64(i)))
+		}
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for i := range recs {
+		dst = append(dst, byte(recs[i].Op))
+	}
+	for i := range recs {
+		r := &recs[i]
+		f := byte(r.Dir) << 4
+		if r.HasDest {
+			f |= 1
+		}
+		if r.DestFP {
+			f |= 2
+		}
+		if r.Taken {
+			f |= 4
+		}
+		if r.HasMem {
+			f |= 8
+		}
+		dst = append(dst, f)
+	}
+	for i := range recs {
+		dst = append(dst, byte(recs[i].Dest))
+	}
+	for i := range recs {
+		for _, rd := range recs[i].Reads {
+			var b byte
+			if rd.Valid {
+				b = 0x80 | byte(rd.Reg)&0x3f
+				if rd.FP {
+					b |= 0x40
+				}
+			}
+			dst = append(dst, b)
+		}
+	}
+	cols := [][]byte{e.addr, e.value, e.mem, e.phase, e.seq}
+	if !withSeq {
+		cols = cols[:chunkColumns-1]
+	}
+	for _, col := range cols {
+		dst = binary.AppendUvarint(dst, uint64(len(col)))
+		dst = append(dst, col...)
+	}
+	return dst
+}
+
+// chunkDecoder streams records back out of one encoded chunk. Decoding is
+// strictly bounds-checked: any truncation, overlong varint, or trailing
+// garbage is an error, never a panic or an out-of-range read — the same
+// data path decodes trusted in-memory chunks and untrusted file frames.
+type chunkDecoder struct {
+	n                            int
+	ops, flags, dest, reads      []byte
+	addr, value, mem, phase, seq []byte
+	firstSeq                     int64
+	withSeq                      bool
+	strict                       bool // validate Op/Dir per record (file frames)
+}
+
+// init parses the chunk header and column bounds of data. firstSeq is the
+// stream position of the chunk's first record (the basis Seq derives from).
+func (d *chunkDecoder) init(data []byte, firstSeq int64, withSeq, strict bool) error {
+	n64, hdr := binary.Uvarint(data)
+	if hdr <= 0 {
+		return fmt.Errorf("trace: chunk header: bad record count")
+	}
+	// Each record costs at least 5 fixed column bytes; bounding n by the
+	// payload size rejects absurd counts before any allocation.
+	if n64 > uint64(len(data))/5 {
+		return fmt.Errorf("trace: chunk header: record count %d exceeds payload", n64)
+	}
+	n := int(n64)
+	off := hdr
+	fixed := func(size int) ([]byte, error) {
+		if size < 0 || len(data)-off < size {
+			return nil, fmt.Errorf("trace: chunk truncated in fixed columns")
+		}
+		col := data[off : off+size]
+		off += size
+		return col, nil
+	}
+	var err error
+	if d.ops, err = fixed(n); err != nil {
+		return err
+	}
+	if d.flags, err = fixed(n); err != nil {
+		return err
+	}
+	if d.dest, err = fixed(n); err != nil {
+		return err
+	}
+	if d.reads, err = fixed(2 * n); err != nil {
+		return err
+	}
+	ncols := chunkColumns
+	if !withSeq {
+		ncols--
+	}
+	varCols := [chunkColumns][]byte{}
+	for c := 0; c < ncols; c++ {
+		l64, ln := binary.Uvarint(data[off:])
+		if ln <= 0 {
+			return fmt.Errorf("trace: chunk truncated in column %d length", c)
+		}
+		off += ln
+		if l64 > uint64(len(data)-off) {
+			return fmt.Errorf("trace: chunk truncated in column %d payload", c)
+		}
+		varCols[c] = data[off : off+int(l64)]
+		off += int(l64)
+	}
+	if off != len(data) {
+		return fmt.Errorf("trace: %d trailing bytes after chunk payload", len(data)-off)
+	}
+	d.n = n
+	d.addr, d.value, d.mem, d.phase, d.seq =
+		varCols[0], varCols[1], varCols[2], varCols[3], varCols[4]
+	d.firstSeq = firstSeq
+	d.withSeq = withSeq
+	d.strict = strict
+	return nil
+}
+
+// varcolSlow reads a multi-byte (or truncated) zigzag varint of col at
+// cursor ci, returning the value and the advanced cursor. The one-byte fast
+// path lives inline in decodeAll's column loops; this handles the rest.
+func varcolSlow(col []byte, ci int) (int64, int, error) {
+	u, n := binary.Uvarint(col[ci:])
+	if n <= 0 {
+		return 0, ci, fmt.Errorf("trace: chunk varint column truncated at byte %d", ci)
+	}
+	return zagzig(u), ci + n, nil
+}
+
+// decodeAll decodes every record of the initialized chunk into out, which
+// must hold exactly d.n records. The transpose runs column-at-a-time — one
+// tight loop per column rather than one function call per record — because
+// this is the replay hot path: walking a trace costs a few nanoseconds per
+// record in consumer dispatch, and the decode has to disappear next to it.
+// The varint loops inline the one-byte fast path (almost every delta in the
+// addr/mem/phase/seq columns) and fall into varcolSlow for the rest.
+func (d *chunkDecoder) decodeAll(out []Record) error {
+	out = out[:d.n]
+	ops, flags, dest, reads := d.ops, d.flags, d.dest, d.reads
+	firstSeq := d.firstSeq
+	for i := range out {
+		r := &out[i]
+		r.Op = isa.Opcode(ops[i])
+		r.Dest = isa.Reg(dest[i])
+		f := flags[i]
+		r.Dir = isa.Directive(f >> 4)
+		r.HasDest = f&1 != 0
+		r.DestFP = f&2 != 0
+		r.Taken = f&4 != 0
+		r.HasMem = f&8 != 0
+		b0, b1 := reads[2*i], reads[2*i+1]
+		r.Reads[0] = RegRead{Valid: b0&0x80 != 0, FP: b0&0x40 != 0, Reg: isa.Reg(b0 & 0x3f)}
+		r.Reads[1] = RegRead{Valid: b1&0x80 != 0, FP: b1&0x40 != 0, Reg: isa.Reg(b1 & 0x3f)}
+		r.Seq = firstSeq + int64(i)
+	}
+
+	col, ci := d.addr, 0
+	var acc int64
+	for i := range out {
+		var dv int64
+		if ci < len(col) && col[ci] < 0x80 {
+			dv = zagzig(uint64(col[ci]))
+			ci++
+		} else {
+			var err error
+			if dv, ci, err = varcolSlow(col, ci); err != nil {
+				return err
+			}
+		}
+		acc += dv
+		out[i].Addr = acc
+	}
+	// The value and mem columns carry full magnitudes, so a two-byte inline
+	// path earns its keep where the delta columns almost never need it.
+	col, ci = d.value, 0
+	for i := range out {
+		var v int64
+		if ci < len(col) && col[ci] < 0x80 {
+			v = zagzig(uint64(col[ci]))
+			ci++
+		} else if ci+1 < len(col) && col[ci+1] < 0x80 {
+			v = zagzig(uint64(col[ci]&0x7f) | uint64(col[ci+1])<<7)
+			ci += 2
+		} else {
+			var err error
+			if v, ci, err = varcolSlow(col, ci); err != nil {
+				return err
+			}
+		}
+		out[i].Value = v
+	}
+	col, ci, acc = d.mem, 0, 0
+	for i := range out {
+		var dv int64
+		if ci < len(col) && col[ci] < 0x80 {
+			dv = zagzig(uint64(col[ci]))
+			ci++
+		} else if ci+1 < len(col) && col[ci+1] < 0x80 {
+			dv = zagzig(uint64(col[ci]&0x7f) | uint64(col[ci+1])<<7)
+			ci += 2
+		} else {
+			var err error
+			if dv, ci, err = varcolSlow(col, ci); err != nil {
+				return err
+			}
+		}
+		acc += dv
+		out[i].MemAddr = acc
+	}
+	col, ci, acc = d.phase, 0, 0
+	for i := range out {
+		var dv int64
+		if ci < len(col) && col[ci] < 0x80 {
+			dv = zagzig(uint64(col[ci]))
+			ci++
+		} else {
+			var err error
+			if dv, ci, err = varcolSlow(col, ci); err != nil {
+				return err
+			}
+		}
+		acc += dv
+		out[i].Phase = int(acc)
+	}
+	if d.withSeq {
+		col, ci = d.seq, 0
+		for i := range out {
+			var dv int64
+			if ci < len(col) && col[ci] < 0x80 {
+				dv = zagzig(uint64(col[ci]))
+				ci++
+			} else {
+				var err error
+				if dv, ci, err = varcolSlow(col, ci); err != nil {
+					return err
+				}
+			}
+			out[i].Seq += dv
+		}
+	}
+
+	if d.strict {
+		for i := range out {
+			if !out[i].Op.Valid() {
+				return fmt.Errorf("trace: invalid opcode %d in record %d", d.ops[i], out[i].Seq)
+			}
+			if !out[i].Dir.Valid() {
+				return fmt.Errorf("trace: invalid directive %d in record %d", d.flags[i]>>4, out[i].Seq)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeChunk decodes an entire encoded chunk into out, returning the record
+// count. out must have room for the chunk's records.
+func decodeChunk(out []Record, data []byte, firstSeq int64, withSeq, strict bool) (int, error) {
+	var d chunkDecoder
+	if err := d.init(data, firstSeq, withSeq, strict); err != nil {
+		return 0, err
+	}
+	if d.n > len(out) {
+		return 0, fmt.Errorf("trace: chunk holds %d records, buffer %d", d.n, len(out))
+	}
+	if err := d.decodeAll(out[:d.n]); err != nil {
+		return 0, err
+	}
+	return d.n, nil
+}

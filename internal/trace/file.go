@@ -5,46 +5,178 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/isa"
 )
 
-// Binary trace file format: an 8-byte magic followed by fixed-size records.
-// Traces let the command-line tools decouple execution from analysis, the
-// way SHADE trace files decoupled tracing from the paper's analyzers.
+// Binary trace file formats. Traces let the command-line tools decouple
+// execution from analysis, the way SHADE trace files decoupled tracing from
+// the paper's analyzers.
+//
+// VPTRC01 (legacy): an 8-byte magic followed by fixed 40-byte records.
+//
+// VPTRC02 (default): the 8-byte magic followed by self-delimiting frames,
+// each one columnar-compressed chunk of up to fileChunkSize records:
+//
+//	u32  payload length (little-endian)
+//	u32  CRC-32C (Castagnoli) of the payload
+//	payload: the codec.go chunk encoding, WITHOUT the seq column — the
+//	         on-disk Seq field is redundant (records are written in stream
+//	         order) and is derived from record position on read.
+//
+// A clean EOF falls exactly on a frame boundary; anything else is reported
+// as truncation. Readers accept both versions (sniffed from the magic);
+// writers produce VPTRC02 unless FormatV1 is requested.
 
-var fileMagic = [8]byte{'V', 'P', 'T', 'R', 'C', '0', '1', '\n'}
+var (
+	fileMagicV1 = [8]byte{'V', 'P', 'T', 'R', 'C', '0', '1', '\n'}
+	fileMagicV2 = [8]byte{'V', 'P', 'T', 'R', 'C', '0', '2', '\n'}
+)
 
-// recordSize is the on-disk size of one encoded record.
+// Format selects the on-disk trace encoding.
+type Format int
+
+const (
+	// FormatV2 is the framed columnar-compressed encoding (default).
+	FormatV2 Format = iota
+	// FormatV1 is the legacy fixed-40-byte-record encoding.
+	FormatV1
+)
+
+// String names the format as it appears in the file magic.
+func (f Format) String() string {
+	if f == FormatV1 {
+		return "VPTRC01"
+	}
+	return "VPTRC02"
+}
+
+// ParseFormat maps a command-line format name ("v1", "v2") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "v1", "V1", "VPTRC01":
+		return FormatV1, nil
+	case "v2", "V2", "VPTRC02", "":
+		return FormatV2, nil
+	}
+	return FormatV2, fmt.Errorf("trace: unknown format %q (want v1 or v2)", s)
+}
+
+// ErrTruncated reports a trace file that ends mid-record or mid-frame.
+var ErrTruncated = errors.New("truncated trace file")
+
+// ErrCorrupt reports structurally invalid trace-file contents (bad frame
+// bounds, CRC mismatch, malformed chunk payload).
+var ErrCorrupt = errors.New("corrupt trace file")
+
+// v1RecordSize is the on-disk size of one VPTRC01 record.
 //
 //	addr int64, seq int64, value int64, memAddr int64,
 //	op uint8, dir uint8, flags uint8, dest uint8,
 //	phase uint16, reads [2]uint8 (bit7 valid, bit6 fp, bits0-5 reg)
-const recordSize = 8 + 8 + 8 + 8 + 4 + 2 + 2
+const v1RecordSize = 8 + 8 + 8 + 8 + 4 + 2 + 2
 
-// Writer streams records to an io.Writer.
+// fileChunkSize is the records-per-frame granularity of VPTRC02 writers:
+// small enough that a reader buffers at most ~230 KiB of decoded records,
+// large enough that the delta columns compress well.
+const fileChunkSize = 4096
+
+// maxFramePayload bounds a frame a reader will accept, rejecting absurd
+// lengths from corrupt headers before allocating.
+const maxFramePayload = 1 << 26
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer streams records to an io.Writer in the selected format. Write
+// errors are sticky: the first failure is captured with the record index
+// and byte offset where the stream stopped being durable, every record not
+// durably written is counted as dropped, and Flush/Close surface the
+// annotated error instead of silently losing the tail of the trace.
+//
+// Writes are batched — v1 records accumulate into a ~64 KiB buffer, v2
+// frames are written whole — so error attribution is exact for v1 (fixed
+// record size maps the partial-write offset back to a record index) and
+// frame-granular for v2 (the first record of the failing frame).
 type Writer struct {
-	w   *bufio.Writer
-	n   int64
-	err error
+	out     io.Writer
+	format  Format
+	staged  []Record // v2: records of the frame being filled
+	enc     chunkEncoder
+	buf     []byte // encoded bytes awaiting write
+	bufRec  int64  // index of the first record encoded in buf
+	n       int64  // records accepted
+	off     int64  // bytes durably accepted by out
+	dropped int64  // records not durably written
+	err     error
 }
 
-// NewWriter writes the trace header and returns a streaming writer.
-func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(fileMagic[:]); err != nil {
-		return nil, err
+// v1BatchBytes is the v1 write-batch size.
+const v1BatchBytes = 1 << 16
+
+// NewWriter writes the trace header and returns a streaming writer in the
+// default format (VPTRC02).
+func NewWriter(w io.Writer) (*Writer, error) { return NewWriterFormat(w, FormatV2) }
+
+// NewWriterFormat writes the trace header for the given format and returns
+// a streaming writer. FormatV1 is the escape hatch for consumers that still
+// parse the legacy fixed-record layout.
+func NewWriterFormat(w io.Writer, format Format) (*Writer, error) {
+	magic := fileMagicV2
+	if format == FormatV1 {
+		magic = fileMagicV1
 	}
-	return &Writer{w: bw}, nil
+	if _, err := w.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write magic: %w", err)
+	}
+	return &Writer{out: w, format: format, off: int64(len(magic))}, nil
+}
+
+// flushBuf writes the pending batch. On failure it records the first error
+// with the byte offset where durability ended and the index of the first
+// record affected, and counts every accepted-but-unwritten record as
+// dropped.
+func (tw *Writer) flushBuf() {
+	if len(tw.buf) == 0 || tw.err != nil {
+		return
+	}
+	nw, err := tw.out.Write(tw.buf)
+	if nw > 0 {
+		tw.off += int64(nw)
+	}
+	if err != nil {
+		failRec := tw.bufRec
+		if tw.format == FormatV1 {
+			// Fixed-size records make the partial write exactly attributable.
+			failRec = (tw.off - int64(len(fileMagicV1))) / v1RecordSize
+		}
+		tw.err = fmt.Errorf("trace: write record %d (byte offset %d): %w", failRec, tw.off, err)
+		tw.dropped = tw.n - failRec
+	}
+	tw.buf = tw.buf[:0]
+	tw.bufRec = tw.n
 }
 
 // Consume implements Consumer by appending the record to the file.
 func (tw *Writer) Consume(r *Record) {
 	if tw.err != nil {
+		tw.dropped++
 		return
 	}
-	var buf [recordSize]byte
+	if tw.format == FormatV1 {
+		tw.consumeV1(r)
+		return
+	}
+	tw.staged = append(tw.staged, *r)
+	tw.n++
+	if len(tw.staged) == fileChunkSize {
+		tw.flushFrame()
+	}
+}
+
+func (tw *Writer) consumeV1(r *Record) {
+	var buf [v1RecordSize]byte
 	binary.LittleEndian.PutUint64(buf[0:], uint64(r.Addr))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Seq))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(r.Value))
@@ -77,47 +209,152 @@ func (tw *Writer) Consume(r *Record) {
 		}
 		buf[38+i] = b
 	}
-	if _, err := tw.w.Write(buf[:]); err != nil {
-		tw.err = err
+	tw.buf = append(tw.buf, buf[:]...)
+	tw.n++
+	if len(tw.buf) >= v1BatchBytes {
+		tw.flushBuf()
+	}
+}
+
+// flushFrame encodes and writes the staged records as one VPTRC02 frame.
+func (tw *Writer) flushFrame() {
+	if len(tw.staged) == 0 || tw.err != nil {
 		return
 	}
-	tw.n++
+	tw.buf = append(tw.buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	tw.buf = tw.enc.encode(tw.buf, tw.staged, tw.bufRec, false)
+	payload := tw.buf[8:]
+	binary.LittleEndian.PutUint32(tw.buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(tw.buf[4:], crc32.Checksum(payload, castagnoli))
+	tw.staged = tw.staged[:0]
+	tw.flushBuf()
+}
+
+// Flush writes any partially filled frame or batch. It returns the first
+// write error, annotated with the failing record index and byte offset.
+func (tw *Writer) Flush() error {
+	tw.flushFrame()
+	tw.flushBuf()
+	return tw.err
 }
 
 // Close flushes buffered records. It returns the first error encountered
-// while writing, if any.
+// while writing, if any, annotated with where it struck and how many
+// records were dropped after it.
 func (tw *Writer) Close() error {
-	if tw.err != nil {
-		return tw.err
+	if err := tw.Flush(); err != nil {
+		if tw.dropped > 0 {
+			return fmt.Errorf("%w (%d records dropped after the first error)", err, tw.dropped)
+		}
+		return err
 	}
-	return tw.w.Flush()
+	return nil
 }
 
-// Count returns the number of records written so far.
+// Count returns the number of records accepted so far (records dropped
+// after a write error are not counted).
 func (tw *Writer) Count() int64 { return tw.n }
 
-// Reader streams records from an io.Reader.
+// Dropped returns how many records were discarded after the first write
+// error.
+func (tw *Writer) Dropped() int64 { return tw.dropped }
+
+// Reader streams records from an io.Reader, accepting both trace formats.
 type Reader struct {
-	r *bufio.Reader
+	r      *bufio.Reader
+	format Format
+
+	// v2 state: the decoded frame being drained.
+	buf     []Record
+	bi      int
+	payload []byte
+	seq     int64 // records handed out so far (the derived Seq basis)
 }
 
-// NewReader validates the trace header and returns a streaming reader.
+// NewReader validates the trace header and returns a streaming reader for
+// whichever format the magic declares.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("trace: read magic: %w", err)
 	}
-	if got != fileMagic {
-		return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", got)
+	switch got {
+	case fileMagicV1:
+		return &Reader{r: br, format: FormatV1}, nil
+	case fileMagicV2:
+		return &Reader{r: br, format: FormatV2}, nil
 	}
-	return &Reader{r: br}, nil
+	return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", got)
 }
 
+// Format reports the file format the header declared.
+func (tr *Reader) Format() Format { return tr.format }
+
 // Next reads the next record. It returns io.EOF at a clean end of trace and
-// io.ErrUnexpectedEOF for a truncated record.
+// an error wrapping ErrTruncated or ErrCorrupt (or the v1 diagnostics) for
+// anything malformed.
 func (tr *Reader) Next(r *Record) error {
-	var buf [recordSize]byte
+	if tr.format == FormatV1 {
+		return tr.nextV1(r)
+	}
+	for tr.bi >= len(tr.buf) {
+		if err := tr.readFrame(); err != nil {
+			return err
+		}
+	}
+	*r = tr.buf[tr.bi]
+	tr.bi++
+	return nil
+}
+
+// readFrame reads and decodes the next VPTRC02 frame into tr.buf.
+func (tr *Reader) readFrame() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF // clean end: EOF exactly on a frame boundary
+		}
+		return fmt.Errorf("trace: frame header: %w: %w", ErrTruncated, err)
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if size == 0 || size > maxFramePayload {
+		return fmt.Errorf("trace: %w: frame payload length %d", ErrCorrupt, size)
+	}
+	if cap(tr.payload) < int(size) {
+		tr.payload = make([]byte, size)
+	}
+	tr.payload = tr.payload[:size]
+	if _, err := io.ReadFull(tr.r, tr.payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			// A bare EOF here still means a truncated frame — the header
+			// promised a payload; don't let io.EOF escape as a clean end.
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("trace: frame payload: %w: %w", ErrTruncated, err)
+	}
+	if got := crc32.Checksum(tr.payload, castagnoli); got != crc {
+		return fmt.Errorf("trace: %w: frame CRC mismatch (stored %#x, computed %#x)", ErrCorrupt, crc, got)
+	}
+	var d chunkDecoder
+	if err := d.init(tr.payload, tr.seq, false, true); err != nil {
+		return fmt.Errorf("trace: %w: %w", ErrCorrupt, err)
+	}
+	if cap(tr.buf) < d.n {
+		tr.buf = make([]Record, d.n)
+	}
+	tr.buf = tr.buf[:d.n]
+	if err := d.decodeAll(tr.buf); err != nil {
+		return fmt.Errorf("trace: %w: %w", ErrCorrupt, err)
+	}
+	tr.bi = 0
+	tr.seq += int64(d.n)
+	return nil
+}
+
+func (tr *Reader) nextV1(r *Record) error {
+	var buf [v1RecordSize]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return io.EOF

@@ -1,41 +1,89 @@
 package trace
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/isa"
 )
 
 // This file implements the record-once/replay-many trace cache. A Recorder
-// captures a dynamic instruction stream into a flat chunked buffer; Replay
-// feeds it back to any number of consumers, bit-identically to the live
-// run, without re-interpreting the program. The experiment drivers use it to
-// run the evaluation input once per benchmark and replay the recorded
+// captures a dynamic instruction stream into columnar compressed chunks;
+// Replay feeds it back to any number of consumers, bit-identically to the
+// live run, without re-interpreting the program. The experiment drivers use
+// it to run the evaluation input once per benchmark and replay the recorded
 // stream for every threshold and prediction-engine configuration.
+//
+// Storage is structure-of-arrays: records are staged in a plain buffer one
+// chunk at a time and transposed into the packed columnar encoding of
+// codec.go when the chunk fills (~10 bytes/record against the 56-byte
+// Record struct). Replay runs a decode-into-scratch hot loop that
+// materializes one Record per iteration, so consumers observe exactly the
+// live-run contract and never touch the encoded form. When a resident-bytes
+// budget is set, encoded chunks past the budget spill to an anonymous temp
+// file and stream back in sequential order during replay through a
+// double-buffered prefetcher (spill.go), so traces larger than RAM replay
+// at near-resident speed.
 
-// recorderChunkSize is the number of records per storage chunk (16384
-// records × 56 B ≈ 0.9 MiB). Chunked growth keeps append cost flat and
-// avoids ever copying the whole trace during recording.
+// recorderChunkSize is the number of records per storage chunk: 16384
+// records stage into ~0.9 MiB of Record structs and encode into roughly
+// 100–300 KiB, a comfortable unit for both cache-resident decoding and
+// sequential spill I/O.
 const recorderChunkSize = 1 << 14
+
+// recordMemBytes is the in-memory size of one decoded Record, the AoS
+// footprint the columnar encoding is measured against.
+const recordMemBytes = int64(unsafe.Sizeof(Record{}))
+
+// rchunk is one encoded chunk: resident (data set) or spilled (data nil,
+// off/size locating the encoding in the spill file).
+type rchunk struct {
+	data []byte
+	off  int64
+	size int32
+	n    int32
+}
 
 // Recorder is a Consumer that captures the stream for later replay.
 // Recording is single-threaded (one producer), but a finished Recorder is
-// immutable and Replay/ReplayDirs may be called concurrently from multiple
-// goroutines. Owners that share a Recorder across goroutines (the
+// immutable and Replay/ReplayDirs/MultiEval may be called concurrently from
+// multiple goroutines. Owners that share a Recorder across goroutines (the
 // experiments context, the vpserve trace cache) must Seal it first: sealing
 // marks recording complete, turns any further Consume into a panic, and
 // documents the immutability the concurrent replays rely on. Replay hands
-// records out by pointer into the shared buffer — consumers must treat them
-// as read-only for the duration of the Consume call (the same contract as a
-// live run); a consumer that wrote through the pointer would corrupt every
-// other replay, and the -race stress tests in internal/experiments exist to
-// catch any such consumer.
+// records out by pointer under a strict read-only, duration-of-the-call
+// contract (the same contract as a live run); the -race stress tests in
+// internal/experiments drive every replay path from many goroutines to
+// catch any consumer that violates it.
 type Recorder struct {
-	chunks [][]Record
+	staged []Record // current partially filled chunk, plain AoS
+	enc    chunkEncoder
+	chunks []rchunk
 	n      int64
+
+	memBudget     int64 // resident encoded-bytes budget; <=0 = fully resident
+	residentBytes int64 // encoded bytes currently held in memory
+	encodedBytes  int64 // encoded bytes total (resident + spilled)
+	spilledChunks int64
+	spill         *spillFile
+
 	sealed bool
 	passes atomic.Int64 // full replay passes over the buffer, for amortization accounting
 }
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetMemBudget bounds the encoded trace bytes the Recorder keeps resident in
+// memory; chunks encoded past the budget spill to a temporary file (deleted
+// on creation, so it can never outlive the process) and stream back during
+// replay. A budget ≤ 0 keeps everything resident. The budget governs chunks
+// encoded after the call, so set it before recording; the ~0.9 MiB staging
+// buffer for the chunk being filled is not counted against it.
+func (rc *Recorder) SetMemBudget(bytes int64) { rc.memBudget = bytes }
 
 // Passes reports how many full replay passes have walked the recorded
 // buffer (Replay, ReplayDirs and MultiEval each count one, however many
@@ -43,67 +91,339 @@ type Recorder struct {
 // amortization metrics read it.
 func (rc *Recorder) Passes() int64 { return rc.passes.Load() }
 
-// NewRecorder returns an empty trace recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
-
 // Len returns the number of recorded records.
 func (rc *Recorder) Len() int64 { return rc.n }
 
-// Bytes returns the approximate in-memory size of the recorded trace.
+// Bytes returns the approximate resident in-memory size of the recorded
+// trace: the encoded chunks still held in memory plus the staging buffer.
+// Spilled chunks do not count.
 func (rc *Recorder) Bytes() int64 {
-	return int64(len(rc.chunks)) * recorderChunkSize * 56
+	return rc.residentBytes + int64(len(rc.staged))*recordMemBytes
 }
 
-// Seal marks recording complete. A sealed Recorder is immutable — Consume
-// panics — and may be replayed concurrently from any number of goroutines.
-// Sealing is idempotent. The caller must establish a happens-before edge
-// between Seal and the first concurrent Replay (publishing the Recorder
-// through a mutex-guarded cache, a channel, or sync.Once all qualify).
-func (rc *Recorder) Seal() { rc.sealed = true }
+// EncodedBytes returns the total encoded size of all flushed chunks,
+// resident and spilled. Records still in the staging buffer (at most one
+// partial chunk; none once sealed) are not yet encoded.
+func (rc *Recorder) EncodedBytes() int64 { return rc.encodedBytes }
+
+// BytesResident returns the encoded bytes currently held in memory.
+func (rc *Recorder) BytesResident() int64 { return rc.residentBytes }
+
+// SpilledChunks returns how many chunks were written to the spill file.
+func (rc *Recorder) SpilledChunks() int64 { return rc.spilledChunks }
+
+// Seal marks recording complete: the staging buffer is encoded and released,
+// further Consume panics, and the Recorder may be replayed concurrently from
+// any number of goroutines. Sealing is idempotent. The caller must establish
+// a happens-before edge between Seal and the first concurrent Replay
+// (publishing the Recorder through a mutex-guarded cache, a channel, or
+// sync.Once all qualify).
+func (rc *Recorder) Seal() {
+	if rc.sealed {
+		return
+	}
+	if len(rc.staged) > 0 {
+		rc.flushStaged()
+	}
+	rc.staged = nil
+	rc.sealed = true
+}
 
 // Sealed reports whether the Recorder has been sealed.
 func (rc *Recorder) Sealed() bool { return rc.sealed }
+
+// Close releases the spill file, if any. Replays must not be in flight.
+// Close is optional — the spill file is unlinked at creation and the
+// process's file-descriptor finalizer reclaims it when the Recorder is
+// garbage-collected — but deterministic for tests and long-lived owners.
+func (rc *Recorder) Close() error {
+	if rc.spill == nil {
+		return nil
+	}
+	err := rc.spill.close()
+	rc.spill = nil
+	return err
+}
 
 // Consume implements Consumer by appending a copy of r.
 func (rc *Recorder) Consume(r *Record) {
 	if rc.sealed {
 		panic("trace: Consume on a sealed Recorder (recording after publication)")
 	}
-	i := int(rc.n % recorderChunkSize)
-	if i == 0 {
-		rc.chunks = append(rc.chunks, make([]Record, recorderChunkSize))
+	if rc.staged == nil {
+		rc.staged = make([]Record, 0, recorderChunkSize)
 	}
-	rc.chunks[len(rc.chunks)-1][i] = *r
+	rc.staged = append(rc.staged, *r)
 	rc.n++
+	if len(rc.staged) == recorderChunkSize {
+		rc.flushStaged()
+	}
 }
 
-// Replay feeds the recorded stream to the consumers in order. Records are
-// handed out by pointer into the recorded buffer with no per-record copy,
-// under the same contract as a live run: the record is only valid for the
-// duration of the Consume call, and consumers must not modify it.
+// flushStaged transposes the staging buffer into one encoded chunk,
+// retaining it resident or spilling it when past the memory budget.
+func (rc *Recorder) flushStaged() {
+	firstSeq := rc.n - int64(len(rc.staged))
+	data := rc.enc.encode(nil, rc.staged, firstSeq, true)
+	c := rchunk{size: int32(len(data)), n: int32(len(rc.staged))}
+	rc.encodedBytes += int64(len(data))
+	if rc.memBudget > 0 && rc.residentBytes+int64(len(data)) > rc.memBudget {
+		if rc.spill == nil {
+			sf, err := newSpillFile()
+			if err != nil {
+				panic("trace: create spill file: " + err.Error())
+			}
+			rc.spill = sf
+		}
+		off, err := rc.spill.write(data)
+		if err != nil {
+			panic("trace: write spill chunk: " + err.Error())
+		}
+		c.off = off
+		rc.spilledChunks++
+	} else {
+		c.data = data
+		rc.residentBytes += int64(len(data))
+	}
+	rc.chunks = append(rc.chunks, c)
+	rc.staged = rc.staged[:0]
+}
+
+// walkChunks streams every flushed chunk's encoded bytes through fn in
+// record order, reading spilled chunks back sequentially through a
+// double-buffered prefetcher so decode of chunk k overlaps the read of
+// chunk k+1. fn must fully consume data before returning (the prefetch
+// buffers are recycled). The staging tail is NOT walked — callers feed
+// rc.staged directly after the walk.
+func (rc *Recorder) walkChunks(fn func(data []byte, n int, firstSeq int64)) {
+	// The prefetch goroutine only helps when another CPU can run it; on a
+	// single-core machine it is pure scheduling overhead, so read inline.
+	var pf *prefetcher
+	var buf []byte
+	if rc.spilledChunks > 0 && runtime.GOMAXPROCS(0) > 1 {
+		pf = startPrefetch(rc.spill, rc.chunks)
+		defer pf.stop()
+	}
+	firstSeq := int64(0)
+	for i := range rc.chunks {
+		c := &rc.chunks[i]
+		data := c.data
+		if data == nil {
+			if pf != nil {
+				data = pf.next()
+			} else {
+				if cap(buf) < int(c.size) {
+					buf = make([]byte, c.size)
+				}
+				buf = buf[:c.size]
+				if _, err := rc.spill.f.ReadAt(buf, c.off); err != nil {
+					panic(fmt.Sprintf("trace: read spilled chunk: %v", err))
+				}
+				data = buf
+			}
+		}
+		fn(data, int(c.n), firstSeq)
+		if pf != nil && c.data == nil {
+			pf.recycle(data)
+		}
+		firstSeq += int64(c.n)
+	}
+}
+
+// mustDecodeChunk batch-decodes a chunk the Recorder encoded itself into
+// out; failure would mean memory or spill-file corruption.
+func mustDecodeChunk(out []Record, data []byte, firstSeq int64) int {
+	n, err := decodeChunk(out, data, firstSeq, true, false)
+	if err != nil {
+		panic("trace: corrupt recorded chunk: " + err.Error())
+	}
+	return n
+}
+
+// slabPool recycles chunk-sized decode slabs across replay passes. A slab is
+// ~0.9 MiB, so per-pass allocation would dominate short replays; the pool
+// keeps steady-state replay allocation-free.
+var slabPool = sync.Pool{New: func() any {
+	s := make([]Record, recorderChunkSize)
+	return &s
+}}
+
+func getSlab() []Record  { return *(slabPool.Get().(*[]Record)) }
+func putSlab(s []Record) { s = s[:cap(s)]; slabPool.Put(&s) }
+
+// decodeLanes picks the decode-ahead width for a replay pass: one lane per
+// spare CPU up to six (the chunk transpose costs ~16 ns/record against
+// ~3 ns/record of consumer dispatch, so walkonly replay needs five-plus
+// lanes before the decode fully hides; heavier consumers saturate sooner),
+// zero — the inline sequential path — when the machine is single-core or
+// the trace too small to pipeline.
+func decodeLanes(nchunks int) int {
+	w := runtime.GOMAXPROCS(0) - 1
+	if w > 6 {
+		w = 6
+	}
+	if w > nchunks-1 {
+		w = nchunks - 1
+	}
+	if w < 1 {
+		return 0
+	}
+	return w
+}
+
+// walkSlabs streams every flushed chunk through fn as a decoded []Record
+// slab, in record order. On multi-core machines the decode runs ahead of the
+// consumer on a small pool of worker lanes — chunk i is decoded on lane
+// i%lanes while the consumer walks earlier slabs, so the per-record cost of
+// the consume loop approaches the AoS walk and the transpose hides behind
+// it. Each lane owns two slabs (decode one while the consumer holds the
+// other); delivery is strictly round-robin, which keeps record order without
+// any reordering buffer. Spilled chunks are read back by the lane that
+// decodes them (positional reads are independent), replacing the sequential
+// prefetcher on that path. Single-core or tiny traces fall back to inline
+// decode through walkChunks. The slab passed to fn is valid only until fn
+// returns, and fn may mutate it (ReplayDirs patches directives in place) —
+// every field of every record is rewritten on the next decode.
+func (rc *Recorder) walkSlabs(fn func(recs []Record)) {
+	nchunks := len(rc.chunks)
+	if nchunks == 0 {
+		return
+	}
+	lanes := decodeLanes(nchunks)
+	if lanes == 0 {
+		slab := getSlab()
+		defer putSlab(slab)
+		rc.walkChunks(func(data []byte, n int, firstSeq int64) {
+			fn(slab[:mustDecodeChunk(slab, data, firstSeq)])
+		})
+		return
+	}
+
+	firstSeqs := make([]int64, nchunks)
+	var fs int64
+	for i := range rc.chunks {
+		firstSeqs[i] = fs
+		fs += int64(rc.chunks[i].n)
+	}
+
+	type lane struct {
+		out  chan []Record // decoded slabs, in this lane's chunk order
+		free chan []Record // slabs returned by the consumer
+	}
+	ls := make([]lane, lanes)
+	done := make(chan struct{})
+	panics := make(chan any, lanes)
+	var wg sync.WaitGroup
+	for w := range ls {
+		ls[w] = lane{out: make(chan []Record, 1), free: make(chan []Record, 2)}
+		ls[w].free <- getSlab()
+		ls[w].free <- getSlab()
+		wg.Add(1)
+		go func(w int, ln lane) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+					close(ln.out)
+				}
+			}()
+			var buf []byte
+			for i := w; i < nchunks; i += lanes {
+				var slab []Record
+				select {
+				case slab = <-ln.free:
+				case <-done:
+					return
+				}
+				c := &rc.chunks[i]
+				data := c.data
+				if data == nil {
+					if cap(buf) < int(c.size) {
+						buf = make([]byte, c.size)
+					}
+					buf = buf[:c.size]
+					if _, err := rc.spill.f.ReadAt(buf, c.off); err != nil {
+						panic(fmt.Sprintf("trace: read spilled chunk: %v", err))
+					}
+					data = buf
+				}
+				n := mustDecodeChunk(slab, data, firstSeqs[i])
+				select {
+				case ln.out <- slab[:n]:
+				case <-done:
+					return
+				}
+			}
+			close(ln.out)
+		}(w, ls[w])
+	}
+	defer func() {
+		close(done)
+		wg.Wait()
+		// Return every slab still parked in a lane to the pool. A lane that
+		// aborted mid-decode keeps its slab; the GC reclaims it.
+		for _, ln := range ls {
+			for {
+				select {
+				case s := <-ln.free:
+					putSlab(s)
+					continue
+				default:
+				}
+				select {
+				case s, ok := <-ln.out:
+					if ok {
+						putSlab(s)
+						continue
+					}
+				default:
+				}
+				break
+			}
+		}
+	}()
+	for i := 0; i < nchunks; i++ {
+		ln := ls[i%lanes]
+		slab, ok := <-ln.out
+		if !ok {
+			panic(<-panics)
+		}
+		fn(slab)
+		ln.free <- slab[:cap(slab)]
+	}
+}
+
+// Replay feeds the recorded stream to the consumers in order. Chunks are
+// batch-decoded into scratch slabs (running ahead of the consumer on
+// multi-core machines, see walkSlabs) and handed out record by record under
+// the live-run contract: the record is only valid for the duration of the
+// Consume call, and consumers must not modify it.
 func (rc *Recorder) Replay(consumers ...Consumer) {
 	rc.passes.Add(1)
-	remaining := rc.n
 	if len(consumers) == 1 {
 		// The common fan-out, with the consumer interface loaded once.
 		c := consumers[0]
-		for _, chunk := range rc.chunks {
-			chunk = clip(chunk, remaining)
-			for i := range chunk {
-				c.Consume(&chunk[i])
+		rc.walkSlabs(func(recs []Record) {
+			for i := range recs {
+				c.Consume(&recs[i])
 			}
-			remaining -= int64(len(chunk))
+		})
+		for i := range rc.staged {
+			c.Consume(&rc.staged[i])
 		}
 		return
 	}
-	for _, chunk := range rc.chunks {
-		chunk = clip(chunk, remaining)
-		for i := range chunk {
+	rc.walkSlabs(func(recs []Record) {
+		for i := range recs {
 			for _, c := range consumers {
-				c.Consume(&chunk[i])
+				c.Consume(&recs[i])
 			}
 		}
-		remaining -= int64(len(chunk))
+	})
+	for i := range rc.staged {
+		for _, c := range consumers {
+			c.Consume(&rc.staged[i])
+		}
 	}
 }
 
@@ -112,44 +432,49 @@ func (rc *Recorder) Replay(consumers ...Consumer) {
 // changes only the directive bits of a program — no code motion — so
 // replaying a plain-program trace under an annotated program's directives is
 // bit-identical to re-executing the annotated program. Each record is
-// patched in a scratch copy; the recorded buffer is never modified, keeping
-// concurrent replays safe.
+// patched in the decode scratch; the recorded chunks are never modified,
+// keeping concurrent replays safe.
 func (rc *Recorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
 	rc.passes.Add(1)
 	var single Consumer
 	if len(consumers) == 1 {
 		single = consumers[0]
 	}
-	var rec Record
-	remaining := rc.n
-	for _, chunk := range rc.chunks {
-		chunk = clip(chunk, remaining)
-		for i := range chunk {
-			rec = chunk[i]
-			if a := rec.Addr; a >= 0 && a < int64(len(dirs)) {
-				rec.Dir = dirs[a]
-			} else {
-				rec.Dir = isa.DirNone
-			}
+	patch := func(r *Record) {
+		if a := r.Addr; a >= 0 && a < int64(len(dirs)) {
+			r.Dir = dirs[a]
+		} else {
+			r.Dir = isa.DirNone
+		}
+	}
+	// The directive is patched in the decode slab — scratch owned by this
+	// pass — so the recorded chunks are never modified and concurrent
+	// replays stay safe.
+	rc.walkSlabs(func(recs []Record) {
+		for i := range recs {
+			r := &recs[i]
+			patch(r)
 			if single != nil {
-				single.Consume(&rec)
+				single.Consume(r)
 			} else {
 				for _, c := range consumers {
-					c.Consume(&rec)
+					c.Consume(r)
 				}
 			}
 		}
-		remaining -= int64(len(chunk))
+	})
+	var rec Record
+	for i := range rc.staged {
+		rec = rc.staged[i]
+		patch(&rec)
+		if single != nil {
+			single.Consume(&rec)
+		} else {
+			for _, c := range consumers {
+				c.Consume(&rec)
+			}
+		}
 	}
-}
-
-// clip bounds a chunk to the records actually written (the final chunk is
-// generally only partially filled).
-func clip(chunk []Record, remaining int64) []Record {
-	if int64(len(chunk)) > remaining {
-		return chunk[:remaining]
-	}
-	return chunk
 }
 
 // DirsOf extracts the per-address directive table of a text segment, the

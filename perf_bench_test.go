@@ -228,6 +228,104 @@ func BenchmarkMultiEvalSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkTraceStore measures the columnar trace store against the AoS
+// layout it replaced: walk throughput for the resident AoS, resident
+// columnar, and fully-spilled columnar stores, plus serialization cost per
+// record for the VPTRC01 and VPTRC02 file formats. The walk legs report
+// memB/rec (in-memory footprint per record); the disk legs report diskB/rec.
+// scripts/bench_smoke.sh gates on walk-columnar staying within 5% of
+// walk-aos and on the ≥3x memory / ≥2x disk compression ratios.
+func BenchmarkTraceStore(b *testing.B) {
+	prog, err := workload.Build("compress", workload.EvaluationInput())
+	if err != nil {
+		b.Fatal(err)
+	}
+	aos := trace.NewAoSRecorder()
+	col := trace.NewRecorder()
+	spill := trace.NewRecorder()
+	spill.SetMemBudget(1)
+	if _, err := workload.Run(prog, trace.Tee{aos, col, spill}); err != nil {
+		b.Fatal(err)
+	}
+	aos.Seal()
+	col.Seal()
+	spill.Seal()
+	b.Cleanup(func() { col.Close(); spill.Close() })
+	if spill.SpilledChunks() == 0 {
+		b.Fatal("spill recorder did not spill")
+	}
+
+	type replayer interface {
+		Replay(...trace.Consumer)
+		Len() int64
+		Bytes() int64
+	}
+	walk := func(rc replayer) func(b *testing.B) {
+		return func(b *testing.B) {
+			var total, seen int64
+			for i := 0; i < b.N; i++ {
+				rc.Replay(trace.ConsumerFunc(func(r *trace.Record) { seen++ }))
+				total += rc.Len()
+			}
+			b.StopTimer()
+			if seen != total {
+				b.Fatalf("replayed %d records, want %d", seen, total)
+			}
+			reportMIPS(b, total)
+			b.ReportMetric(float64(rc.Bytes())/float64(rc.Len()), "memB/rec")
+		}
+	}
+	b.Run("walk-aos", walk(aos))
+	b.Run("walk-columnar", walk(col))
+	b.Run("walk-spill", func(b *testing.B) {
+		var total, seen int64
+		for i := 0; i < b.N; i++ {
+			spill.Replay(trace.ConsumerFunc(func(r *trace.Record) { seen++ }))
+			total += spill.Len()
+		}
+		b.StopTimer()
+		if seen != total {
+			b.Fatalf("replayed %d records, want %d", seen, total)
+		}
+		reportMIPS(b, total)
+		b.ReportMetric(float64(spill.Bytes())/float64(spill.Len()), "memB/rec")
+	})
+
+	disk := func(format trace.Format) func(b *testing.B) {
+		return func(b *testing.B) {
+			var total int64
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				cw := &countWriter{}
+				tw, err := trace.NewWriterFormat(cw, format)
+				if err != nil {
+					b.Fatal(err)
+				}
+				col.Replay(tw)
+				if err := tw.Close(); err != nil {
+					b.Fatal(err)
+				}
+				total += tw.Count()
+				bytes = cw.n
+			}
+			b.StopTimer()
+			reportMIPS(b, total)
+			b.ReportMetric(float64(bytes)/float64(col.Len()), "diskB/rec")
+		}
+	}
+	b.Run("disk-v1", disk(trace.FormatV1))
+	b.Run("disk-v2", disk(trace.FormatV2))
+}
+
+// countWriter counts bytes and discards them — serialization cost without
+// filesystem noise.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
 // BenchmarkAllArtifactsParallel times the full paper-artifact registry from
 // a cold cache, sequentially versus on the fan-out scheduler. The parallel
 // leg's win tracks the core count (it is ~1× on a single-CPU machine); the

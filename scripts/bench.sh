@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_report.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
+BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkTraceStore|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
 SERVER_BENCHMARKS="${SERVER_BENCHMARKS:-^(BenchmarkServerEvaluateCached|BenchmarkServerEvaluateCachedParallel|BenchmarkServerEvaluateUncached)\$}"
 
 RAW_SIM="$(mktemp)"
@@ -38,7 +38,7 @@ emit_speedups() {
     ns[name] = $3
 }
 END {
-    n = split("BenchmarkThresholdSweep:reexecute:replay BenchmarkMultiEvalSweep:separate:multieval BenchmarkMultiEvalSweep:walkonly-separate:walkonly-multieval BenchmarkAllArtifactsParallel:sequential:parallel", specs, " ")
+    n = split("BenchmarkThresholdSweep:reexecute:replay BenchmarkMultiEvalSweep:separate:multieval BenchmarkMultiEvalSweep:walkonly-separate:walkonly-multieval BenchmarkTraceStore:walk-aos:walk-columnar BenchmarkTraceStore:walk-spill:walk-columnar BenchmarkAllArtifactsParallel:sequential:parallel", specs, " ")
     first = 1
     for (s = 1; s <= n; s++) {
         split(specs[s], f, ":")
@@ -50,6 +50,37 @@ END {
         printf "    {\"name\": \"%s\", \"baseline\": \"%s\", \"optimized\": \"%s\", \"speedup_vs_sequential\": %.3f}", f[1], f[2], f[3], base / opt
     }
     printf "\n"
+}
+' "$1"
+}
+
+# Summarize the trace-storage footprint from the BenchmarkTraceStore metric
+# columns: bytes/record in memory (AoS struct vs columnar encoding) and on
+# disk (VPTRC01 vs VPTRC02), with the compression ratios bench_smoke.sh
+# gates on. These are deterministic byte counts, not timings, so they are
+# machine-independent.
+emit_trace_storage() {
+    awk '
+/^BenchmarkTraceStore\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "memB/rec")  mem[name] = $i
+        if ($(i + 1) == "diskB/rec") disk[name] = $i
+    }
+}
+END {
+    aos = mem["BenchmarkTraceStore/walk-aos"]
+    col = mem["BenchmarkTraceStore/walk-columnar"]
+    v1 = disk["BenchmarkTraceStore/disk-v1"]
+    v2 = disk["BenchmarkTraceStore/disk-v2"]
+    if (aos == "" || col == "" || v1 == "" || v2 == "" || col + 0 == 0 || v2 + 0 == 0) exit
+    printf "    \"mem_bytes_per_record_aos\": %s,\n", aos
+    printf "    \"mem_bytes_per_record_columnar\": %s,\n", col
+    printf "    \"mem_compression_ratio\": %.3f,\n", aos / col
+    printf "    \"disk_bytes_per_record_v1\": %s,\n", v1
+    printf "    \"disk_bytes_per_record_v2\": %s,\n", v2
+    printf "    \"disk_compression_ratio\": %.3f\n", v1 / v2
 }
 ' "$1"
 }
@@ -78,13 +109,16 @@ END { printf "\n" }
 
 {
     echo "{"
-    echo "  \"schema\": \"bench-report/v3\","
+    echo "  \"schema\": \"bench-report/v4\","
     echo "  \"benchmarks\": ["
     emit_entries "$RAW_SIM"
     echo "  ],"
     echo "  \"speedups\": ["
     emit_speedups "$RAW_SIM"
     echo "  ],"
+    echo "  \"trace_storage\": {"
+    emit_trace_storage "$RAW_SIM"
+    echo "  },"
     echo "  \"server\": ["
     emit_entries "$RAW_SRV"
     echo "  ]"

@@ -1,21 +1,37 @@
 #!/usr/bin/env bash
-# CI bench smoke for the single-pass sweep evaluator: re-runs
-# BenchmarkMultiEvalSweep and fails if the multieval-vs-separate speedup
-# regresses more than MAX_REGRESSION_PCT versus the committed
-# BENCH_report.json. The gate compares the speedup RATIO, not raw ns/op —
-# the committed report comes from a different machine than CI, so absolute
-# times are incomparable while the ratio (same trace, same engines, same
-# binary) isolates the optimization itself. Usage:
+# CI bench smoke for the replay substrate. Two benchmark runs, four gates:
+#
+#   1. Single-pass sweep: BenchmarkMultiEvalSweep's multieval-vs-separate
+#      walkonly speedup must not regress more than MAX_REGRESSION_PCT versus
+#      the committed BENCH_report.json.
+#   2. Trace-storage compression (machine-independent byte counts, not
+#      timings): the columnar encoding must hold ≥3x fewer in-memory
+#      bytes/record than the AoS Record buffer, and VPTRC02 must hold ≥2x
+#      fewer on-disk bytes/record than VPTRC01.
+#   3. Walkonly columnar replay: the walk-columnar/walk-aos throughput ratio
+#      must not regress versus the committed report; on machines with enough
+#      CPUs for the full decode-ahead pipeline (≥7, giving the replay six
+#      decode lanes) the ratio must additionally be within
+#      MAX_WALK_GAP_PCT of the resident-AoS baseline outright.
+#   4. Spill-mode replay: the walk-spill overhead over resident walk-columnar
+#      must not regress versus the committed report.
+#
+# Ratio gates compare the speedup RATIO, not raw ns/op — the committed
+# report comes from a different machine than CI, so absolute times are
+# incomparable while a ratio (same trace, same binary, same machine) isolates
+# the property itself. Usage:
 #
 #   scripts/bench_smoke.sh [BENCH_report.json]
 #
 # Environment:
 #   BENCHTIME          go test -benchtime value (default 1s)
-#   BENCHCOUNT         go test -count value (default 5); the gate uses the
+#   BENCHCOUNT         go test -count value (default 5); gates use the
 #                      per-leg MINIMUM across counts — the standard
 #                      noise-robust estimator on shared CI machines, where a
 #                      single interval can be off by ±35% from CPU steal
-#   MAX_REGRESSION_PCT allowed speedup loss in percent (default 20)
+#   MAX_REGRESSION_PCT allowed ratio loss in percent (default 20)
+#   MAX_WALK_GAP_PCT   allowed walkonly columnar-vs-AoS gap on machines with
+#                      a full decode-ahead pipeline (default 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,22 +39,31 @@ REPORT="${1:-BENCH_report.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHCOUNT="${BENCHCOUNT:-5}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-20}"
+MAX_WALK_GAP_PCT="${MAX_WALK_GAP_PCT:-5}"
 
-# Gate on the walkonly pair: it isolates the pass-merging machinery from
-# predictor-table work, so its ratio is stable where the engine pair's is
-# not (engine updates dominate the walk and swing with machine noise).
-committed=$(grep -o '"optimized": "walkonly-multieval", "speedup_vs_sequential": [0-9.]*' "$REPORT" \
-    | head -1 | awk '{print $NF}')
-if [[ -z "$committed" ]]; then
-    echo "bench_smoke: no BenchmarkMultiEvalSweep walkonly speedup in $REPORT (run scripts/bench.sh)" >&2
+committed_speedup() {
+    grep -o "\"baseline\": \"$1\", \"optimized\": \"$2\", \"speedup_vs_sequential\": [0-9.]*" "$REPORT" \
+        | head -1 | awk '{print $NF}'
+}
+
+committed_multi=$(committed_speedup walkonly-separate walkonly-multieval)
+committed_walk=$(committed_speedup walk-aos walk-columnar)
+committed_spill=$(committed_speedup walk-spill walk-columnar)
+if [[ -z "$committed_multi" || -z "$committed_walk" || -z "$committed_spill" ]]; then
+    echo "bench_smoke: missing committed speedups in $REPORT (run scripts/bench.sh)" >&2
     exit 1
 fi
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
-go test -run '^$' -bench '^BenchmarkMultiEvalSweep/walkonly' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW"
+RAW_MULTI="$(mktemp)"
+RAW_STORE="$(mktemp)"
+trap 'rm -f "$RAW_MULTI" "$RAW_STORE"' EXIT
+go test -run '^$' -bench '^BenchmarkMultiEvalSweep/walkonly' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_MULTI"
+go test -run '^$' -bench '^BenchmarkTraceStore$' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_STORE"
 
-awk -v committed="$committed" -v max="$MAX_REGRESSION_PCT" '
+# Gate 1: the pass-merging machinery. The walkonly pair isolates it from
+# predictor-table work, so its ratio is stable where the engine pair's is
+# not (engine updates dominate the walk and swing with machine noise).
+awk -v committed="$committed_multi" -v max="$MAX_REGRESSION_PCT" '
 /^BenchmarkMultiEvalSweep\/walkonly-separate/  { if (sep == "" || $3 + 0 < sep + 0) sep = $3 }
 /^BenchmarkMultiEvalSweep\/walkonly-multieval/ { if (multi == "" || $3 + 0 < multi + 0) multi = $3 }
 END {
@@ -53,5 +78,70 @@ END {
         printf "bench_smoke: FAIL — single-pass sweep regressed more than %s%%\n", max > "/dev/stderr"
         exit 1
     }
+}' "$RAW_MULTI"
+
+# Gates 2–4: the columnar trace store.
+NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+awk -v committed_walk="$committed_walk" -v committed_spill="$committed_spill" \
+    -v max="$MAX_REGRESSION_PCT" -v walkgap="$MAX_WALK_GAP_PCT" -v ncpu="$NCPU" '
+/^BenchmarkTraceStore\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (ns[name] == "" || $3 + 0 < ns[name] + 0) ns[name] = $3
+    for (i = 5; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "memB/rec")  mem[name] = $i
+        if ($(i + 1) == "diskB/rec") disk[name] = $i
+    }
+}
+END {
+    aos = ns["BenchmarkTraceStore/walk-aos"]
+    col = ns["BenchmarkTraceStore/walk-columnar"]
+    spill = ns["BenchmarkTraceStore/walk-spill"]
+    if (aos == "" || col == "" || spill == "" || col + 0 == 0) {
+        print "bench_smoke: BenchmarkTraceStore produced no walk numbers" > "/dev/stderr"
+        exit 1
+    }
+
+    # Gate 2: compression ratios (deterministic byte counts).
+    if (mem["BenchmarkTraceStore/walk-aos"] + 0 == 0 || mem["BenchmarkTraceStore/walk-columnar"] + 0 == 0 ||
+        disk["BenchmarkTraceStore/disk-v1"] + 0 == 0 || disk["BenchmarkTraceStore/disk-v2"] + 0 == 0) {
+        print "bench_smoke: BenchmarkTraceStore produced no memB/rec or diskB/rec metrics" > "/dev/stderr"
+        exit 1
+    }
+    memratio = mem["BenchmarkTraceStore/walk-aos"] / mem["BenchmarkTraceStore/walk-columnar"]
+    diskratio = disk["BenchmarkTraceStore/disk-v1"] / disk["BenchmarkTraceStore/disk-v2"]
+    printf "bench_smoke: in-memory compression %.2fx (gate >= 3), on-disk %.2fx (gate >= 2)\n", memratio, diskratio
+    if (memratio < 3 || diskratio < 2) {
+        print "bench_smoke: FAIL — trace-storage compression below the gate" > "/dev/stderr"
+        exit 1
+    }
+
+    # Gate 3: walkonly columnar throughput vs the resident-AoS baseline.
+    walk = aos / col
+    floor = committed_walk * (1 - max / 100)
+    printf "bench_smoke: walkonly columnar/AoS throughput ratio %.3f (committed %.3f, floor %.3f)\n", walk, committed_walk, floor
+    if (walk < floor) {
+        printf "bench_smoke: FAIL — columnar walk regressed more than %s%% vs the committed ratio\n", max > "/dev/stderr"
+        exit 1
+    }
+    if (ncpu + 0 >= 7) {
+        target = 1 - walkgap / 100
+        printf "bench_smoke: %d CPUs — full decode-ahead pipeline, gating walkonly within %s%% of AoS\n", ncpu, walkgap
+        if (walk < target) {
+            printf "bench_smoke: FAIL — walkonly columnar replay %.3fx of AoS, below %.3f\n", walk, target > "/dev/stderr"
+            exit 1
+        }
+    } else {
+        printf "bench_smoke: %d CPUs — decode-ahead pipeline unavailable, absolute walkonly gate skipped\n", ncpu
+    }
+
+    # Gate 4: spill-mode replay overhead vs resident columnar.
+    over = spill / col
+    ceiling = committed_spill * (1 + max / 100)
+    printf "bench_smoke: spill-mode walk overhead %.3fx of resident (committed %.3fx, ceiling %.3fx)\n", over, committed_spill, ceiling
+    if (over > ceiling) {
+        printf "bench_smoke: FAIL — spill-mode replay regressed more than %s%%\n", max > "/dev/stderr"
+        exit 1
+    }
     print "bench_smoke: OK"
-}' "$RAW"
+}' "$RAW_STORE"
