@@ -15,10 +15,14 @@ import (
 	"os"
 
 	"repro/internal/annotate"
+	"repro/internal/buildinfo"
 	"repro/internal/profiler"
 	"repro/internal/program"
 	"repro/internal/workload"
 )
+
+// version is stamped by release builds via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -31,8 +35,15 @@ func main() {
 		minAtt    = flag.Int64("min-attempts", 0, "ignore instructions with fewer profiled attempts")
 		force     = flag.Bool("force", false, "skip the program/profile name cross-check")
 		out       = flag.String("o", "", "output image path (required)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Format("vpannotate", version))
+		return
+	}
 	if *profPath == "" || *out == "" || (*progPath == "") == (*bench == "") {
 		fmt.Fprintln(os.Stderr, "usage: vpannotate (-prog in.vpimg | -bench name) -prof in.prof [-threshold 90] -o out.vpimg")
 		os.Exit(2)

@@ -16,16 +16,27 @@ import (
 	"strings"
 
 	"repro/internal/asm"
+	"repro/internal/buildinfo"
 	"repro/internal/program"
 )
+
+// version is stamped by release builds via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
 		out  = flag.String("o", "", "output image path (default: source with .vpimg)")
 		name = flag.String("name", "", "program name recorded in the image (default: source basename)")
 		dump = flag.Bool("dump", false, "treat the argument as an image and print its assembly")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Format("vpasm", version))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vpasm [-o out.vpimg] [-name prog] file.s | vpasm -dump file.vpimg")
 		os.Exit(2)

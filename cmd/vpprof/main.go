@@ -16,10 +16,14 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/profiler"
 	"repro/internal/program"
 	"repro/internal/workload"
 )
+
+// version is stamped by release builds via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -27,8 +31,15 @@ func main() {
 		n     = flag.Int("n", 5, "number of training inputs (benchmark mode)")
 		split = flag.Bool("split", false, "write one image per run instead of merging")
 		out   = flag.String("o", "", "output profile image path (required)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Format("vpprof", version))
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "usage: vpprof (-bench name [-n runs] | image.vpimg) -o out.prof")
 		os.Exit(2)

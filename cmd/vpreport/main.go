@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +24,16 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
+	"repro/internal/client"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
+
+// version is stamped by release builds via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -38,12 +45,22 @@ func main() {
 		outDir = flag.String("o", "", "also write each artifact to <dir>/<id>.txt")
 		par    = flag.Int("parallel", parallel.DefaultLimit(), "max concurrent artifacts and per-artifact workers (1 = sequential)")
 
+		serverURL = flag.String("server", "", "offload threshold sweeps to a vpserve node or vpcoord cluster at this base URL instead of computing locally")
+		remoteILP = flag.Bool("remote-ilp", true, "include the ILP speedup leg in remote sweeps (with -server)")
+
 		traceMem = flag.Int64("trace-mem-budget", 0, "resident bytes budget per recorded trace before chunks spill to disk (0 = unlimited)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Format("vpreport", version))
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -93,6 +110,13 @@ func main() {
 	}
 	ctx.Thresholds = ths
 
+	if *serverURL != "" {
+		if err := runRemote(*serverURL, ths, *remoteILP, *outDir, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	runners := experiments.Registry
 	if *exts {
 		runners = append(append([]experiments.Runner{}, runners...), experiments.ExtRegistry...)
@@ -133,6 +157,35 @@ func main() {
 	if len(outcomes) > 1 {
 		printSummary(outcomes, elapsed, *par)
 	}
+}
+
+// runRemote renders one sweep table per benchmark, computed by the service
+// at baseURL — a single vpserve node, or a vpcoord cluster that shards each
+// sweep across its worker fleet. Identical requests produce byte-identical
+// report.Runs on either, so artifacts are comparable across topologies.
+func runRemote(baseURL string, ths []float64, ilp bool, outDir string, benches []string) error {
+	if len(benches) == 0 {
+		benches = workload.AllNames()
+	}
+	cli := client.New(client.Config{BaseURL: baseURL})
+	total := time.Now()
+	for _, b := range benches {
+		t0 := time.Now()
+		run, err := experiments.RemoteSweep(context.Background(), cli, b, ths, ilp)
+		if err != nil {
+			return err
+		}
+		text := experiments.RenderRemoteSweep(b, run)
+		fmt.Println(text)
+		fmt.Printf("[%s swept remotely in %v]\n\n", b, time.Since(t0).Round(time.Millisecond))
+		if outDir != "" {
+			if err := os.WriteFile(filepath.Join(outDir, "remote-"+b+".txt"), []byte(text+"\n"), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("[%d remote sweeps in %v via %s]\n", len(benches), time.Since(total).Round(time.Millisecond), baseURL)
+	return nil
 }
 
 // printSummary renders the per-artifact wall-clock table. The per-artifact

@@ -18,19 +18,26 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/classify"
+	"repro/internal/client"
 	"repro/internal/predictor"
 	"repro/internal/program"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/vpsim"
 	"repro/internal/workload"
 )
+
+// version is stamped by release builds via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -45,8 +52,18 @@ func main() {
 		traceFmt   = flag.String("trace-format", "v2", "trace file format: v2 (columnar compressed, default) or v1 (legacy fixed records)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (the vpserve report.Run schema)")
+		serverURL  = flag.String("server", "", "evaluate on a vpserve node or vpcoord cluster at this base URL instead of locally (requires -bench)")
+		threshold  = flag.Float64("threshold", 0, "accuracy threshold for profile-classified remote runs (with -server)")
+		ilp        = flag.Bool("ilp", false, "time the remote run through the ILP machine (with -server)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Format("vprun", version))
+		return
+	}
 
 	if *list {
 		for _, n := range workload.AllNames() {
@@ -57,6 +74,18 @@ func main() {
 			}
 			fmt.Printf("%-9s %s\n", n, kind)
 		}
+		return
+	}
+
+	if *serverURL != "" {
+		if *bench == "" {
+			fatal(fmt.Errorf("-server requires -bench (the node builds the workload itself)"))
+		}
+		runRemote(*serverURL, server.EvaluateRequest{
+			Bench: *bench, Seed: *seed, Scale: *scale,
+			Predictor: *predKind, Entries: entries, Assoc: *assoc,
+			Classifier: *classifier, Threshold: *threshold, ILP: *ilp,
+		}, *jsonOut)
 		return
 	}
 
@@ -176,6 +205,40 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace:              %d records → %s\n", tw.Count(), *tracePath)
+	}
+}
+
+// runRemote evaluates the request on a vpserve node or vpcoord cluster and
+// prints the server's report — the same JSON schema -json emits locally.
+func runRemote(baseURL string, req server.EvaluateRequest, jsonOut bool) {
+	cli := client.New(client.Config{BaseURL: baseURL})
+	res, err := cli.Evaluate(context.Background(), req)
+	if err != nil {
+		fatal(err)
+	}
+	run := res.Result
+	if run == nil {
+		fatal(fmt.Errorf("server returned no result (job %s, status %s)", res.ID, res.Status))
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(run); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("server:             %s (job %s, cache %v)\n", baseURL, res.ID, res.CacheHit)
+	fmt.Printf("program:            %s\n", run.Program)
+	fmt.Printf("instructions:       %d\n", run.Instructions)
+	fmt.Printf("value instructions: %d\n", run.ValueInstructions)
+	fmt.Printf("classifier:         %s\n", run.Classifier)
+	fmt.Printf("predictor:          %s, %s\n", run.Predictor.Kind, tableDesc(run.Predictor.Entries, run.Predictor.Assoc))
+	fmt.Printf("candidates:         %d\n", run.Candidates)
+	fmt.Printf("predictions taken:  %d (%.1f%% correct)\n",
+		run.UsedCorrect+run.UsedIncorrect, run.PredictionAccuracy)
+	if run.ILP != nil {
+		fmt.Printf("ilp speedup:        %.1f%%\n", run.ILP.SpeedupPct)
 	}
 }
 

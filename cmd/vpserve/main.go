@@ -12,8 +12,13 @@
 //	    -d '{"bench":"gcc","classifier":"profile","threshold":80,"ilp":true}'
 //	curl localhost:8080/metrics
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
-// in-flight jobs drain (up to -drain), then the process exits.
+// With -coordinator the daemon joins a vpcoord cluster: it registers
+// itself (advertising -advertise or its listen address), heartbeats, and
+// deregisters the moment its drain begins.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503 and the
+// node deregisters from its coordinator first, then intake stops and queued
+// and in-flight jobs drain (up to -drain) before the process exits.
 package main
 
 import (
@@ -29,9 +34,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/server"
 )
+
+// version is stamped by release builds via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -49,8 +59,17 @@ func main() {
 		maxMem    = flag.Int64("max-mem", 0, "guest sandbox: max data-memory words per run (0 = default, -1 = unlimited)")
 		maxEvents = flag.Int64("max-trace-events", 0, "guest sandbox: max trace events per run (0 = default, -1 = unlimited)")
 		faultSpec = flag.String("faults", "", "arm a fault-injection plan, e.g. 'server.record:error:n=1' (also via VP_FAULTS; see internal/faults)")
+
+		coordinator = flag.String("coordinator", "", "register with a vpcoord coordinator at this base URL")
+		advertise   = flag.String("advertise", "", "base URL this node advertises to the coordinator (default http://<addr>)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Format("vpserve", version))
+		return
+	}
 
 	if *faultSpec == "" {
 		*faultSpec = os.Getenv("VP_FAULTS")
@@ -91,7 +110,24 @@ func main() {
 		log.Fatalf("vpserve: %v", err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	log.Printf("vpserve: listening on %s", ln.Addr())
+	log.Printf("vpserve: listening on %s (version %s)", ln.Addr(), buildinfo.Resolve(version))
+
+	var agent *cluster.Agent
+	if *coordinator != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			CoordinatorURL: *coordinator,
+			AdvertiseURL:   adv,
+			Version:        buildinfo.Resolve(version),
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("vpserve: %v", err)
+		}
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -105,12 +141,19 @@ func main() {
 		log.Fatalf("vpserve: serve: %v", err)
 	}
 
+	// Drain ordering: flip readiness first so load balancers and the
+	// coordinator stop sending new work, and tell the coordinator directly
+	// (deregister) — all while the listener still accepts the requests
+	// already in flight. Only then stop the listener and drain the queue:
+	// queued and in-flight jobs complete (async pollers already hold their
+	// job ids against a future restart; sync waiters are cut off with the
+	// listener).
+	srv.BeginDrain()
+	if agent != nil {
+		agent.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Stop accepting connections first, then drain the job queue: queued
-	// and in-flight jobs complete (async pollers already hold their job
-	// ids against a future restart; sync waiters are cut off with the
-	// listener).
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("vpserve: http shutdown: %v", err)
 	}

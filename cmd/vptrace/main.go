@@ -17,10 +17,14 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/critpath"
 	"repro/internal/profiler"
 	"repro/internal/trace"
 )
+
+// version is stamped by release builds via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -30,8 +34,15 @@ func main() {
 		profOut  = flag.String("profile", "", "write an offline profile image to this path")
 		critPath = flag.Bool("critpath", false, "compute the dataflow critical path")
 		progName = flag.String("name", "trace", "program name recorded in the profile image")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Format("vptrace", version))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vptrace [-stats|-dump|-profile out.prof|-critpath] trace.vptrc")
 		os.Exit(2)

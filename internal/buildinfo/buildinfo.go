@@ -1,0 +1,55 @@
+// Package buildinfo resolves and formats the version stamp shared by every
+// binary in this repo. Each main declares
+//
+//	var version = "dev"
+//
+// which release builds override with
+//
+//	go build -ldflags "-X main.version=v1.2.3"
+//
+// and passes to Resolve. Unstamped builds fall back to the VCS revision Go
+// embeds in the binary, so even a plain `go build` identifies itself; the
+// cluster coordinator logs these at node registration and flags
+// mixed-version fleets.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Resolve returns the effective version: the -ldflags-injected value when
+// stamped, else "dev+<short VCS revision>" when Go embedded one, else "dev".
+func Resolve(injected string) string {
+	if injected != "" && injected != "dev" {
+		return injected
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			return "dev+" + rev
+		}
+	}
+	return "dev"
+}
+
+// Format renders the one-line -version output for a binary.
+func Format(binary, injected string) string {
+	return fmt.Sprintf("%s %s (%s, %s/%s)", binary, Resolve(injected), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveStamped(t *testing.T) {
+	if got := Resolve("v1.2.3"); got != "v1.2.3" {
+		t.Fatalf("Resolve(stamped) = %q", got)
+	}
+}
+
+func TestResolveUnstamped(t *testing.T) {
+	// Test binaries carry no -X stamp; whatever the fallback is, it must be
+	// non-empty and rooted in "dev".
+	for _, injected := range []string{"", "dev"} {
+		got := Resolve(injected)
+		if got == "" || !strings.HasPrefix(got, "dev") {
+			t.Fatalf("Resolve(%q) = %q, want dev or dev+rev", injected, got)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	got := Format("vpserve", "v9")
+	if !strings.HasPrefix(got, "vpserve v9 (go") {
+		t.Fatalf("Format = %q", got)
+	}
+}

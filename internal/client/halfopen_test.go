@@ -1,0 +1,150 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestHalfOpenSingleProbeUnderContention pins the breaker's half-open
+// contract under concurrency (run with -race): when the cooldown elapses
+// with many callers racing, exactly ONE is admitted as the probe — the rest
+// fail fast with ErrCircuitOpen while the probe is in flight, rather than
+// stampeding a server that is trying to come back up.
+func TestHalfOpenSingleProbeUnderContention(t *testing.T) {
+	var (
+		mode         atomic.Int32 // 0 = fail, 1 = block-then-ok
+		serverHits   atomic.Int32
+		probeStarted = make(chan struct{}, 16)
+		release      = make(chan struct{})
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serverHits.Add(1)
+		if mode.Load() == 0 {
+			fail(w, http.StatusServiceUnavailable, "")
+			return
+		}
+		probeStarted <- struct{}{}
+		<-release
+		okJob(w)
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) {
+		cfg.FailureThreshold = 2
+		cfg.MaxRetries = 0
+		cfg.StaleCacheSize = -1 // a stale hit would mask the fail-fast path
+	})
+	req := server.EvaluateRequest{Bench: "compress"}
+
+	// Open the breaker with FailureThreshold consecutive failures.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Evaluate(context.Background(), req); err == nil {
+			t.Fatal("failing call unexpectedly succeeded")
+		}
+	}
+	if _, err := c.Evaluate(context.Background(), req); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call with open breaker: err = %v, want ErrCircuitOpen", err)
+	}
+	hitsWhenOpen := serverHits.Load()
+
+	// Cooldown elapses; the server recovers but is slow (the probe blocks
+	// inside the handler until released).
+	mode.Store(1)
+	clk.advance(6 * time.Second)
+
+	const callers = 8
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Evaluate(context.Background(), req)
+			errs <- err
+		}()
+	}
+
+	// One caller reaches the server as the probe...
+	<-probeStarted
+	// ...and every other caller fails fast while the probe is in flight.
+	// Collect all of them BEFORE releasing the probe, so none of these
+	// rejections can be explained by anything but the half-open gate.
+	for i := 0; i < callers-1; i++ {
+		if err := <-errs; !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("contending caller %d: err = %v, want ErrCircuitOpen", i, err)
+		}
+	}
+	close(release)
+	if err := <-errs; err != nil {
+		t.Fatalf("probe caller: %v", err)
+	}
+	wg.Wait()
+	if got := serverHits.Load() - hitsWhenOpen; got != 1 {
+		t.Fatalf("server saw %d requests during half-open, want exactly 1 probe", got)
+	}
+
+	// The successful probe closed the breaker: traffic flows again.
+	if _, err := c.Evaluate(context.Background(), req); err != nil {
+		t.Fatalf("call after successful probe: %v", err)
+	}
+}
+
+// TestHalfOpenProbeFailureReopens: a failed probe snaps the breaker open
+// for a full fresh cooldown — one failure is enough, no threshold count.
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	var healthy atomic.Bool
+	var serverHits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serverHits.Add(1)
+		if healthy.Load() {
+			okJob(w)
+			return
+		}
+		fail(w, http.StatusServiceUnavailable, "")
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := newClient(ts, clk, func(cfg *Config) {
+		cfg.FailureThreshold = 2
+		cfg.MaxRetries = 0
+		cfg.StaleCacheSize = -1
+	})
+	req := server.EvaluateRequest{Bench: "compress"}
+
+	for i := 0; i < 2; i++ {
+		_, _ = c.Evaluate(context.Background(), req)
+	}
+	clk.advance(6 * time.Second)
+
+	// The probe fails: breaker reopens immediately.
+	if _, err := c.Evaluate(context.Background(), req); err == nil {
+		t.Fatal("failing probe unexpectedly succeeded")
+	}
+	hits := serverHits.Load()
+	if _, err := c.Evaluate(context.Background(), req); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call after failed probe: err = %v, want ErrCircuitOpen", err)
+	}
+	if serverHits.Load() != hits {
+		t.Fatal("call after failed probe reached the server — breaker did not reopen")
+	}
+
+	// After another cooldown a healthy probe closes it for good.
+	healthy.Store(true)
+	clk.advance(6 * time.Second)
+	if _, err := c.Evaluate(context.Background(), req); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if _, err := c.Evaluate(context.Background(), req); err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Agent is the worker-side membership loop: a vpserve process starts one
+// (vpserve -coordinator URL) to register itself, heartbeat on the cadence
+// the coordinator hands back, re-register if the coordinator forgot it
+// (restart, expiry), and deregister the moment the worker's drain begins.
+type Agent struct {
+	coordURL string
+	baseURL  string
+	version  string
+	logf     func(format string, args ...any)
+	hc       *http.Client
+
+	mu     sync.Mutex
+	nodeID string
+
+	stop   chan struct{}
+	done   chan struct{}
+	closed sync.Once
+}
+
+// AgentConfig configures StartAgent.
+type AgentConfig struct {
+	// CoordinatorURL is the coordinator's base URL (required).
+	CoordinatorURL string
+	// AdvertiseURL is this worker's base URL as reachable from the
+	// coordinator (required).
+	AdvertiseURL string
+	// Version is this worker's build version, reported at registration.
+	Version string
+	// Logf receives agent log lines (default: discard).
+	Logf func(format string, args ...any)
+	// HTTPClient overrides the control-plane HTTP client (default: 5s timeout).
+	HTTPClient *http.Client
+}
+
+// StartAgent registers the worker with the coordinator and starts the
+// heartbeat loop. Registration is retried in the background, so a worker
+// may start before its coordinator. Close deregisters and stops the loop.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.CoordinatorURL == "" {
+		return nil, fmt.Errorf("cluster: agent: coordinator URL is required")
+	}
+	if cfg.AdvertiseURL == "" {
+		return nil, fmt.Errorf("cluster: agent: advertise URL is required")
+	}
+	a := &Agent{
+		coordURL: cfg.CoordinatorURL,
+		baseURL:  cfg.AdvertiseURL,
+		version:  cfg.Version,
+		logf:     cfg.Logf,
+		hc:       cfg.HTTPClient,
+	}
+	if a.logf == nil {
+		a.logf = func(string, ...any) {}
+	}
+	if a.hc == nil {
+		a.hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.run()
+	return a, nil
+}
+
+// NodeID returns the coordinator-assigned node id ("" until registered).
+func (a *Agent) NodeID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nodeID
+}
+
+// Close deregisters the worker (so the coordinator stops routing to it
+// immediately rather than waiting out the heartbeat timeout) and stops the
+// heartbeat loop. Safe to call more than once.
+func (a *Agent) Close() {
+	a.closed.Do(func() {
+		close(a.stop)
+		<-a.done
+		if id := a.NodeID(); id != "" {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := a.post(ctx, "/cluster/v1/deregister", HeartbeatRequest{NodeID: id}, nil); err != nil {
+				a.logf("cluster agent: deregister failed: %v", err)
+			}
+		}
+	})
+}
+
+// run is the register/heartbeat loop. The retry cadence before the first
+// successful registration is fixed at 1s; after registration the loop
+// follows the interval the coordinator returned.
+func (a *Agent) run() {
+	defer close(a.done)
+	interval := time.Second
+	registered := false
+	for {
+		if !registered {
+			iv, err := a.register()
+			if err != nil {
+				a.logf("cluster agent: register with %s failed (will retry): %v", a.coordURL, err)
+			} else {
+				registered = true
+				if iv > 0 {
+					interval = iv
+				}
+			}
+		} else if !a.heartbeat() {
+			// Unknown id: the coordinator restarted or expired us.
+			registered = false
+			interval = time.Second
+		}
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+func (a *Agent) register() (time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp RegisterResponse
+	err := a.post(ctx, "/cluster/v1/register", RegisterRequest{BaseURL: a.baseURL, Version: a.version}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	a.nodeID = resp.NodeID
+	a.mu.Unlock()
+	a.logf("cluster agent: registered with %s as %s", a.coordURL, resp.NodeID)
+	return time.Duration(resp.HeartbeatIntervalMS) * time.Millisecond, nil
+}
+
+// heartbeat refreshes liveness; false means the coordinator does not know
+// this node id and the caller should re-register.
+func (a *Agent) heartbeat() bool {
+	id := a.NodeID()
+	if id == "" {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := a.post(ctx, "/cluster/v1/heartbeat", HeartbeatRequest{NodeID: id}, nil)
+	if err != nil {
+		a.logf("cluster agent: heartbeat failed: %v", err)
+		var he *httpStatusError
+		if asHTTPStatus(err, &he) && he.status == http.StatusNotFound {
+			return false
+		}
+		// Transient coordinator trouble: keep the id and retry on cadence.
+		return true
+	}
+	return true
+}
+
+type httpStatusError struct {
+	status int
+	body   string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("coordinator returned %d: %s", e.status, e.body)
+}
+
+func asHTTPStatus(err error, out **httpStatusError) bool {
+	he, ok := err.(*httpStatusError)
+	if ok {
+		*out = he
+	}
+	return ok
+}
+
+func (a *Agent) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.coordURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		return &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAgentLifecycle: the worker-side agent registers over HTTP, heartbeats
+// on the coordinator's cadence, re-registers when the coordinator forgets
+// it, and deregisters on Close.
+func TestAgentLifecycle(t *testing.T) {
+	// A short heartbeat timeout gives the agent a fast cadence (timeout/3).
+	co := New(Config{HeartbeatTimeout: 300 * time.Millisecond, Logf: t.Logf})
+	cts := httptest.NewServer(co.Handler())
+	defer cts.Close()
+
+	a, err := StartAgent(AgentConfig{
+		CoordinatorURL: cts.URL,
+		AdvertiseURL:   "http://worker-1.test",
+		Version:        "v1",
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	waitFor(t, "registration", func() bool { return a.NodeID() != "" })
+	firstID := a.NodeID()
+	if got := len(co.reg.live()); got != 1 {
+		t.Fatalf("live after registration = %d, want 1", got)
+	}
+
+	// The heartbeat cadence (100ms) outruns the 300ms timeout: the node must
+	// stay live well past several timeouts.
+	time.Sleep(time.Second)
+	if got := len(co.reg.live()); got != 1 {
+		t.Fatalf("live after 1s of heartbeats = %d, want 1 — agent cadence too slow", got)
+	}
+
+	// Coordinator forgets the node (restart, operator): the next heartbeat
+	// 404s and the agent re-registers under a fresh id.
+	co.reg.deregister(firstID)
+	waitFor(t, "re-registration", func() bool {
+		id := a.NodeID()
+		return id != "" && id != firstID && len(co.reg.live()) == 1
+	})
+
+	// Close deregisters immediately — no waiting out the liveness timeout.
+	a.Close()
+	if got := len(co.reg.live()); got != 0 {
+		t.Fatalf("live after Close = %d, want 0 (deregister did not land)", got)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Remote execution: the same threshold sweeps the local experiment engine
+// computes, offloaded to a vpserve node or — the URL is all that differs —
+// a vpcoord cluster that shards the sweep across its fleet. Results are the
+// server's report.Run, which both single nodes and the cluster coordinator
+// produce byte-identically for identical requests (the determinism the
+// cluster test suite pins), so a rendered remote artifact is comparable
+// across any topology.
+
+// RemoteSweep runs one profile-classified threshold sweep for bench against
+// the service at cli, returning the sweep-carrying run.
+func RemoteSweep(ctx context.Context, cli *client.Client, bench string, thresholds []float64, ilp bool) (*report.Run, error) {
+	if len(thresholds) == 0 {
+		thresholds = DefaultThresholds
+	}
+	res, err := cli.Evaluate(ctx, server.EvaluateRequest{Bench: bench, Thresholds: thresholds, ILP: ilp})
+	if err != nil {
+		return nil, fmt.Errorf("remote sweep %s: %w", bench, err)
+	}
+	if res.Result == nil || len(res.Result.Sweep) != len(thresholds) {
+		return nil, fmt.Errorf("remote sweep %s: malformed result (got %d sweep runs, want %d)",
+			bench, len(res.Result.Sweep), len(thresholds))
+	}
+	return res.Result, nil
+}
+
+// RenderRemoteSweep renders a sweep run as the usage/accuracy table the
+// threshold experiments print: one row per threshold, with the candidate
+// share, prediction accuracy, and (when the ILP leg ran) speedup.
+func RenderRemoteSweep(bench string, run *report.Run) string {
+	hasILP := false
+	for _, r := range run.Sweep {
+		if r.ILP != nil {
+			hasILP = true
+			break
+		}
+	}
+	headers := []string{"threshold", "candidates", "cand %", "pred acc", "used correct"}
+	if hasILP {
+		headers = append(headers, "speedup")
+	}
+	t := stats.NewTable(fmt.Sprintf("%s — remote threshold sweep (%s)", bench, run.Input), headers...)
+	for _, r := range run.Sweep {
+		row := []any{
+			fmt.Sprintf("%g%%", r.Threshold),
+			r.Candidates,
+			stats.FormatPct(stats.Pct(r.Candidates, r.ValueInstructions)),
+			stats.FormatPct(r.PredictionAccuracy),
+			r.UsedCorrect,
+		}
+		if hasILP {
+			if r.ILP != nil {
+				row = append(row, stats.FormatPct(r.ILP.SpeedupPct))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

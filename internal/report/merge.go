@@ -1,0 +1,47 @@
+package report
+
+import "fmt"
+
+// MergeSweep reassembles a threshold sweep that was sharded across several
+// evaluate calls (the cluster coordinator's scatter-gather path) into the
+// single Run a one-shot sweep would have produced. parts are the shard
+// results in shard order, each carrying its per-threshold runs in Sweep;
+// thresholds is the full sweep in the original request order; passesSaved is
+// the replay-passes-saved figure of the EQUIVALENT single-node run
+// (len(configurations)-1), so the merged report is byte-identical to an
+// unsharded one — the actually-spent distributed passes are accounted by the
+// coordinator's own metrics, not smuggled into the science artifact.
+//
+// The merge is deterministic by construction: shards are contiguous slices
+// of the threshold list, so concatenating their Sweep entries in shard order
+// restores the request order exactly; the top level mirrors the first
+// threshold's run, copied rather than aliased, the same way the server
+// assembles an unsharded sweep.
+func MergeSweep(parts []*Run, thresholds []float64, passesSaved int64) (*Run, error) {
+	runs := make([]*Run, 0, len(thresholds))
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("report: merge: shard %d has no result", i)
+		}
+		if len(p.Sweep) == 0 {
+			return nil, fmt.Errorf("report: merge: shard %d carries no sweep runs", i)
+		}
+		runs = append(runs, p.Sweep...)
+	}
+	if len(runs) != len(thresholds) {
+		return nil, fmt.Errorf("report: merge: got %d per-threshold runs, want %d", len(runs), len(thresholds))
+	}
+	for i, r := range runs {
+		if r == nil {
+			return nil, fmt.Errorf("report: merge: threshold %g has no run", thresholds[i])
+		}
+		if r.Threshold != thresholds[i] {
+			return nil, fmt.Errorf("report: merge: run %d is for threshold %g, want %g (shards out of order?)",
+				i, r.Threshold, thresholds[i])
+		}
+	}
+	merged := *runs[0]
+	merged.Sweep = runs
+	merged.ReplayPassesSaved = passesSaved
+	return &merged, nil
+}

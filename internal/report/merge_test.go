@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// sweepPart builds one shard result: a Run whose Sweep carries one
+// per-threshold run per given threshold, the top level mirroring the first.
+func sweepPart(ths ...float64) *Run {
+	runs := make([]*Run, len(ths))
+	for i, th := range ths {
+		runs[i] = &Run{Program: "compress", Threshold: th}
+	}
+	part := *runs[0]
+	part.Sweep = runs
+	part.ReplayPassesSaved = int64(len(ths) - 1)
+	return &part
+}
+
+func TestMergeSweep(t *testing.T) {
+	ths := []float64{90, 70, 50, 30}
+	merged, err := MergeSweep([]*Run{sweepPart(90, 70), sweepPart(50, 30)}, ths, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Sweep) != len(ths) {
+		t.Fatalf("merged sweep has %d runs, want %d", len(merged.Sweep), len(ths))
+	}
+	for i, r := range merged.Sweep {
+		if r.Threshold != ths[i] {
+			t.Errorf("sweep[%d].threshold = %g, want %g", i, r.Threshold, ths[i])
+		}
+	}
+	if merged.Threshold != ths[0] {
+		t.Errorf("top level mirrors threshold %g, want %g", merged.Threshold, ths[0])
+	}
+	if merged.ReplayPassesSaved != 3 {
+		t.Errorf("replay_passes_saved = %d, want the caller-supplied 3", merged.ReplayPassesSaved)
+	}
+	// The top level is a copy, not an alias of sweep[0].
+	if merged == merged.Sweep[0] {
+		t.Error("merged top level aliases sweep[0] — marshaling would cycle")
+	}
+}
+
+func TestMergeSweepRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		parts []*Run
+		ths   []float64
+		want  string
+	}{
+		{"nil shard", []*Run{sweepPart(90), nil}, []float64{90, 50}, "no result"},
+		{"empty shard", []*Run{sweepPart(90), {}}, []float64{90, 50}, "no sweep runs"},
+		{"count mismatch", []*Run{sweepPart(90, 70)}, []float64{90, 70, 50}, "want 3"},
+		{"out of order", []*Run{sweepPart(50), sweepPart(90)}, []float64{90, 50}, "out of order"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := MergeSweep(tc.parts, tc.ths, 0); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}

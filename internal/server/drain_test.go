@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestReadinessDrainOrdering pins the drain sequence a load balancer (or
+// the cluster coordinator) depends on: /readyz flips to 503 the moment
+// BeginDrain is called — BEFORE the intake closes — while /healthz stays
+// 200 so the process is not killed mid-drain, and requests already
+// admitted keep completing.
+func TestReadinessDrainOrdering(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Healthy: both probes pass.
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+
+	// BeginDrain is the readiness flip only — intake must still be open so
+	// in-flight work (and retries racing the LB update) are not dropped.
+	s.BeginDrain()
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after BeginDrain: %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after BeginDrain: %d, want 200 — liveness must not fail during drain", code)
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{Bench: "compress"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate after BeginDrain: %d, want 200 (intake closed too early)\n%s", resp.StatusCode, raw)
+	}
+
+	// Shutdown closes the intake: new submissions bounce with 503, liveness
+	// still holds.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{Bench: "compress"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("evaluate after Shutdown: %d, want 503", resp.StatusCode)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after Shutdown: %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after Shutdown: %d, want 200", code)
+	}
+}
+
+// TestShutdownImpliesDrain: callers that go straight to Shutdown still get
+// the readiness flip.
+func TestShutdownImpliesDrain(t *testing.T) {
+	s := New(Config{Workers: 1})
+	if s.Draining() {
+		t.Fatal("fresh server reports draining")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Draining() {
+		t.Fatal("Shutdown did not mark the server draining")
+	}
+}

@@ -78,8 +78,10 @@ type EvaluateRequest struct {
 	ILP bool `json:"ilp,omitempty"`
 }
 
-// normalize applies defaults in place.
-func (r *EvaluateRequest) normalize() {
+// Normalize applies defaults in place. Exported so the cluster coordinator
+// can canonicalize a request before planning shards (the defaults decide
+// whether a request is a shardable profile sweep).
+func (r *EvaluateRequest) Normalize() {
 	if r.Predictor == "" {
 		r.Predictor = "stride"
 	}
@@ -105,8 +107,9 @@ func (r *EvaluateRequest) normalize() {
 	}
 }
 
-// validate rejects malformed requests before they reach the queue.
-func (r *EvaluateRequest) validate() error {
+// Validate rejects malformed requests before they reach the queue (or, at
+// the coordinator, before any shard is dispatched). Call Normalize first.
+func (r *EvaluateRequest) Validate() error {
 	if (r.Bench == "") == (r.Program == "") {
 		return fmt.Errorf("exactly one of \"bench\" or \"program\" must be set")
 	}

@@ -8,7 +8,8 @@
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness (200 for the whole process lifetime)
+//	GET  /readyz             readiness (503 the moment SIGTERM drain begins)
 //	GET  /metrics            queue depth, cache hit rates, latency histograms
 //	POST /v1/programs        submit an assembly source or .vpimg (base64)
 //	GET  /v1/programs/{id}   describe a submitted program
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asm"
@@ -130,6 +132,13 @@ type Server struct {
 
 	mux *http.ServeMux
 
+	// draining flips the readiness endpoint to 503. It is set by BeginDrain
+	// (called by Shutdown, and by cmd/vpserve the moment SIGTERM arrives)
+	// strictly before job intake closes, so a cluster coordinator probing
+	// /readyz stops routing new work to this node while queued and in-flight
+	// jobs are still completing.
+	draining atomic.Bool
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // insertion order, for bounded retention
@@ -166,6 +175,7 @@ func New(cfg Config) *Server {
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.run)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/programs", s.handleSubmitProgram)
 	s.mux.HandleFunc("GET /v1/programs/{id}", s.handleGetProgram)
@@ -178,10 +188,24 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the queue gracefully: intake stops, queued and in-flight
-// jobs complete. If ctx expires first, in-flight jobs are cancelled via
-// their context and the error reports the hard abort.
-func (s *Server) Shutdown(ctx context.Context) error { return s.pool.shutdown(ctx) }
+// BeginDrain flips readiness to 503 without touching intake: /readyz starts
+// failing while /healthz, the job endpoints, and the worker pool keep
+// serving. Callers (Shutdown, the SIGTERM path in cmd/vpserve) invoke it
+// strictly before closing the queue so load balancers observe "not ready"
+// before a single request can be refused. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the queue gracefully: readiness flips first, then intake
+// stops, and queued and in-flight jobs complete. If ctx expires first,
+// in-flight jobs are cancelled via their context and the error reports the
+// hard abort.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	return s.pool.shutdown(ctx)
+}
 
 // errorBody is the uniform JSON error envelope.
 type errorBody struct {
@@ -209,6 +233,14 @@ func (s *Server) rejectValidation(w http.ResponseWriter, code int, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -366,8 +398,8 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // newJob validates, registers and enqueues a request.
 func (s *Server) newJob(req EvaluateRequest) (*job, error) {
-	req.normalize()
-	if err := req.validate(); err != nil {
+	req.Normalize()
+	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithTimeout(s.pool.baseCtx, s.cfg.RequestTimeout)

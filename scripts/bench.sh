@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Runs the key simulation-throughput benchmarks with -benchmem and emits a
 # machine-readable BENCH_report.json so the perf trajectory can be tracked
-# across PRs. The report has two sections: "benchmarks" (simulation
-# substrate + experiment drivers) and "server" (vpserve throughput,
-# requests/sec for cached vs uncached evaluate calls). Usage:
+# across PRs. The report has three sections: "benchmarks" (simulation
+# substrate + experiment drivers), "server" (vpserve throughput,
+# requests/sec for cached vs uncached evaluate calls), and "cluster"
+# (vpcoord sharded-sweep throughput at one vs two worker nodes). Usage:
 #
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCHTIME         go test -benchtime value (default 1s)
-#   BENCHMARKS        simulation benchmark regex (default: substrate + drivers)
-#   SERVER_BENCHMARKS server benchmark regex (default: the vpserve set)
+#   BENCHTIME          go test -benchtime value (default 1s)
+#   BENCHMARKS         simulation benchmark regex (default: substrate + drivers)
+#   SERVER_BENCHMARKS  server benchmark regex (default: the vpserve set)
+#   CLUSTER_BENCHMARKS cluster benchmark regex (default: the sharded sweep)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,13 +21,16 @@ OUT="${1:-BENCH_report.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkTraceStore|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
 SERVER_BENCHMARKS="${SERVER_BENCHMARKS:-^(BenchmarkServerEvaluateCached|BenchmarkServerEvaluateCachedParallel|BenchmarkServerEvaluateUncached)\$}"
+CLUSTER_BENCHMARKS="${CLUSTER_BENCHMARKS:-^BenchmarkClusterSweep\$}"
 
 RAW_SIM="$(mktemp)"
 RAW_SRV="$(mktemp)"
-trap 'rm -f "$RAW_SIM" "$RAW_SRV"' EXIT
+RAW_CLU="$(mktemp)"
+trap 'rm -f "$RAW_SIM" "$RAW_SRV" "$RAW_CLU"' EXIT
 
 go test -run '^$' -bench "$BENCHMARKS" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW_SIM"
 go test -run '^$' -bench "$SERVER_BENCHMARKS" -benchmem -benchtime "$BENCHTIME" ./internal/server | tee "$RAW_SRV"
+go test -run '^$' -bench "$CLUSTER_BENCHMARKS" -benchmem -benchtime "$BENCHTIME" ./internal/cluster | tee "$RAW_CLU"
 
 # Derive baseline-vs-optimized speedups from paired sub-benchmarks
 # (sequential/parallel legs of the same benchmark share one trace and one
@@ -107,9 +112,33 @@ END { printf "\n" }
 ' "$1"
 }
 
+# Summarize the cluster sweep throughput: req/s at one vs two nodes, plus
+# the two-node scaling ratio. Both legs run in-process httptest workers on
+# the same machine, so the ratio is a conservative lower bound (it pays
+# coordinator HTTP + merge overhead but shares the host's cores).
+emit_cluster_scaling() {
+    awk '
+/^BenchmarkClusterSweep\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "req/s") rps[name] = $i
+    }
+}
+END {
+    one = rps["BenchmarkClusterSweep/1-node"]
+    two = rps["BenchmarkClusterSweep/2-node"]
+    if (one == "" || two == "" || one + 0 == 0) exit
+    printf "    \"sweep_req_per_sec_1_node\": %s,\n", one
+    printf "    \"sweep_req_per_sec_2_nodes\": %s,\n", two
+    printf "    \"scaling_2_nodes\": %.3f,\n", two / one
+}
+' "$1"
+}
+
 {
     echo "{"
-    echo "  \"schema\": \"bench-report/v4\","
+    echo "  \"schema\": \"bench-report/v5\","
     echo "  \"benchmarks\": ["
     emit_entries "$RAW_SIM"
     echo "  ],"
@@ -121,7 +150,13 @@ END { printf "\n" }
     echo "  },"
     echo "  \"server\": ["
     emit_entries "$RAW_SRV"
-    echo "  ]"
+    echo "  ],"
+    echo "  \"cluster\": {"
+    emit_cluster_scaling "$RAW_CLU"
+    echo "    \"benchmarks\": ["
+    emit_entries "$RAW_CLU" | sed 's/^    /        /'
+    echo "    ]"
+    echo "  }"
     echo "}"
 } > "$OUT"
 

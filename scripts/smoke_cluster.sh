@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# vpcluster smoke test: build vpcoord + vpserve, bring up a coordinator with
+# two worker nodes, run a sharded threshold sweep, and verify the merged
+# report is byte-identical to the same sweep on a lone vpserve node. Then
+# SIGKILL one worker and re-run the sweep cold — the coordinator must
+# re-dispatch the dead node's shards to the survivor and still produce the
+# identical bytes. Used by the CI cluster job and runnable locally:
+#
+#   scripts/smoke_cluster.sh [baseport]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASEPORT="${1:-19090}"
+COORD_PORT=$BASEPORT
+SOLO_PORT=$((BASEPORT + 1))
+W1_PORT=$((BASEPORT + 2))
+W2_PORT=$((BASEPORT + 3))
+COORD="http://127.0.0.1:$COORD_PORT"
+SOLO="http://127.0.0.1:$SOLO_PORT"
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/vpcoord" ./cmd/vpcoord
+go build -o "$WORK/vpserve" ./cmd/vpserve
+
+# Nodes dead for 2s of silence: SIGKILLed workers leave the routing tables
+# quickly even when no request happens to trip over the corpse.
+"$WORK/vpcoord" -addr "127.0.0.1:$COORD_PORT" -heartbeat-timeout 2s \
+    >"$WORK/coord.log" 2>&1 &
+PIDS+=($!)
+"$WORK/vpserve" -addr "127.0.0.1:$SOLO_PORT" >"$WORK/solo.log" 2>&1 &
+PIDS+=($!)
+
+wait_ok() { # url [attempts]
+    local url=$1 tries=${2:-50}
+    for _ in $(seq 1 "$tries"); do
+        if curl -fsS "$url" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    return 1
+}
+wait_ok "$COORD/healthz" || { echo "vpcoord never became healthy:"; cat "$WORK/coord.log"; exit 1; }
+wait_ok "$SOLO/healthz" || { echo "solo vpserve never became healthy:"; cat "$WORK/solo.log"; exit 1; }
+
+# An empty fleet is alive but not ready.
+RCODE=$(curl -sS -o /dev/null -w '%{http_code}' "$COORD/readyz")
+[ "$RCODE" = 503 ] || { echo "empty-fleet readyz returned $RCODE, want 503"; exit 1; }
+
+"$WORK/vpserve" -addr "127.0.0.1:$W1_PORT" -coordinator "$COORD" >"$WORK/w1.log" 2>&1 &
+W1_PID=$!
+PIDS+=($W1_PID)
+"$WORK/vpserve" -addr "127.0.0.1:$W2_PORT" -coordinator "$COORD" >"$WORK/w2.log" 2>&1 &
+PIDS+=($!)
+
+live=""
+for _ in $(seq 1 50); do
+    if [ "$(curl -fsS "$COORD/metrics" | jq -r .nodes_live)" = 2 ]; then live=1; break; fi
+    sleep 0.2
+done
+[ -n "$live" ] || { echo "fleet never reached 2 live nodes:"; curl -fsS "$COORD/metrics"; exit 1; }
+curl -fsS "$COORD/readyz" >/dev/null || { echo "readyz not ok with live fleet"; exit 1; }
+
+# One sharded ILP sweep, gathered and merged, vs the lone node. Different
+# job ids and cache flags are expected; the report itself must match.
+SWEEP='{"bench":"gcc","thresholds":[90,80,70,60,50],"ilp":true}'
+curl -fsS -X POST -d "$SWEEP" "$SOLO/v1/evaluate" | jq -S .result > "$WORK/solo.json"
+curl -fsS -X POST -d "$SWEEP" "$COORD/v1/evaluate" | jq -S .result > "$WORK/cluster.json"
+diff "$WORK/solo.json" "$WORK/cluster.json" \
+    || { echo "sharded sweep diverged from single-node run"; exit 1; }
+SHARDED=$(curl -fsS "$COORD/metrics" | jq -r .sweeps_sharded)
+[ "$SHARDED" -ge 1 ] || { echo "sweep was not sharded (sweeps_sharded=$SHARDED)"; exit 1; }
+
+# Kill one worker the hard way — no drain, no deregister — while a cold
+# sweep is in flight. The coordinator must fail over mid-run and the merged
+# bytes must not change. (A different seed defeats every cache.)
+KILL_SWEEP='{"bench":"gcc","seed":7,"thresholds":[90,80,70,60,50],"ilp":true}'
+curl -fsS -X POST -d "$KILL_SWEEP" "$SOLO/v1/evaluate" | jq -S .result > "$WORK/solo2.json"
+curl -fsS -X POST -d "$KILL_SWEEP" "$COORD/v1/evaluate" -o "$WORK/cluster2.raw" &
+CURL_PID=$!
+sleep 0.3
+kill -KILL "$W1_PID"
+wait "$CURL_PID" || { echo "sweep failed after worker kill:"; cat "$WORK/coord.log"; exit 1; }
+jq -S .result "$WORK/cluster2.raw" > "$WORK/cluster2.json"
+diff "$WORK/solo2.json" "$WORK/cluster2.json" \
+    || { echo "post-kill sweep diverged from single-node run"; exit 1; }
+
+# The fleet shrank to the survivor and the coordinator stayed ready.
+for _ in $(seq 1 50); do
+    if [ "$(curl -fsS "$COORD/metrics" | jq -r .nodes_live)" = 1 ]; then break; fi
+    sleep 0.2
+done
+[ "$(curl -fsS "$COORD/metrics" | jq -r .nodes_live)" = 1 ] \
+    || { echo "dead worker still counted live:"; curl -fsS "$COORD/metrics"; exit 1; }
+curl -fsS "$COORD/readyz" >/dev/null || { echo "readyz not ok with surviving node"; exit 1; }
+
+echo "vpcluster smoke OK (sharded sweep identical, failover after SIGKILL)"
