@@ -48,6 +48,7 @@ func main() {
 		hedgeAfter = flag.Duration("hedge-after", 0, "fire a duplicate of a straggling shard on the next node after this delay (0 = off)")
 		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request timeout, re-dispatches included")
 		retries    = flag.Int("node-retries", 1, "HTTP retries per node before failing over")
+		stateDir   = flag.String("state-dir", "", "persist the completed-shard-key set (worker restart reconciliation) under this directory")
 		faultSpec  = flag.String("faults", "", "arm a fault-injection plan, e.g. 'cluster.dispatch:error:n=1' (also via VP_FAULTS)")
 
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -71,7 +72,7 @@ func main() {
 		log.Printf("vpcoord: fault injection ARMED: %s", *faultSpec)
 	}
 
-	co := cluster.New(cluster.Config{
+	co, err := cluster.Open(cluster.Config{
 		Version:          buildinfo.Resolve(version),
 		HeartbeatTimeout: *hbTimeout,
 		VirtualNodes:     *vnodes,
@@ -79,8 +80,12 @@ func main() {
 		MaxShards:        *maxShards,
 		HedgeAfter:       *hedgeAfter,
 		RequestTimeout:   *timeout,
+		StateDir:         *stateDir,
 		Client:           client.Config{MaxRetries: *retries},
 	})
+	if err != nil {
+		log.Fatalf("vpcoord: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,5 +114,6 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("vpcoord: http shutdown: %v", err)
 	}
+	co.Close()
 	fmt.Println("vpcoord: stopped")
 }

@@ -136,21 +136,20 @@ func main() {
 	}
 
 	consumers := []trace.Consumer{engine}
-	var tw *trace.Writer
+	var tw *trace.FileWriter
 	if *tracePath != "" {
 		format, err := trace.ParseFormat(*traceFmt)
 		if err != nil {
 			fatal(err)
 		}
-		f, err := os.Create(*tracePath)
+		// Atomic publication: the trace streams into a temp file and only a
+		// successful Close renames it to -trace, so an interrupted run never
+		// leaves a torn trace file behind.
+		tw, err = trace.CreateFile(*tracePath, format)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		tw, err = trace.NewWriterFormat(f, format)
-		if err != nil {
-			fatal(err)
-		}
+		defer tw.Abort()
 		consumers = append(consumers, tw)
 	}
 

@@ -55,6 +55,10 @@ func main() {
 		traces   = flag.Int("trace-cache", 32, "trace-cache entries (each can hold a full benchmark trace)")
 		traceMem = flag.Int64("trace-mem-budget", 0, "resident bytes budget per recorded trace before chunks spill to disk (0 = unlimited)")
 
+		stateDir   = flag.String("state-dir", "", "enable the durability layer: persist caches and the job journal under this directory (empty = in-memory only)")
+		journal    = flag.String("journal", "", "job-journal path (default <state-dir>/jobs.journal; requires -state-dir)")
+		checkpoint = flag.Int("sweep-checkpoint", 0, "thresholds per journaled sweep checkpoint chunk (0 = default 4, negative disables; requires -state-dir)")
+
 		maxSteps  = flag.Int64("max-steps", 0, "guest sandbox: max retired instructions per run (0 = default, -1 = unlimited)")
 		maxMem    = flag.Int64("max-mem", 0, "guest sandbox: max data-memory words per run (0 = default, -1 = unlimited)")
 		maxEvents = flag.Int64("max-trace-events", 0, "guest sandbox: max trace events per run (0 = default, -1 = unlimited)")
@@ -94,16 +98,25 @@ func main() {
 		limits.MaxTraceEvents = *maxEvents
 	}
 
-	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		TrainInputs:    *train,
-		ResultCache:    *results,
-		TraceCache:     *traces,
-		TraceMemBudget: *traceMem,
-		Limits:         limits,
+	if *journal != "" && *stateDir == "" {
+		log.Fatalf("vpserve: -journal requires -state-dir")
+	}
+	srv, err := server.Open(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RequestTimeout:  *timeout,
+		TrainInputs:     *train,
+		ResultCache:     *results,
+		TraceCache:      *traces,
+		TraceMemBudget:  *traceMem,
+		StateDir:        *stateDir,
+		JournalPath:     *journal,
+		SweepCheckpoint: *checkpoint,
+		Limits:          limits,
 	})
+	if err != nil {
+		log.Fatalf("vpserve: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -123,6 +136,10 @@ func main() {
 			AdvertiseURL:   adv,
 			Version:        buildinfo.Resolve(version),
 			Logf:           log.Printf,
+			// Restart reconcile handshake: advertise journal-recovered work
+			// at registration; abandon what the fleet already finished.
+			Incomplete: srv.IncompleteJobKeys,
+			OnAbandon:  func(keys []string) { srv.AbandonJobs(keys) },
 		})
 		if err != nil {
 			log.Fatalf("vpserve: %v", err)

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// flakyServer serves okJob while healthy and 503 after outage().
+func flakyServer(t *testing.T) (ts *httptest.Server, outage func()) {
+	t.Helper()
+	var mu sync.Mutex
+	healthy := true
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ok := healthy
+		mu.Unlock()
+		if ok {
+			okJob(w)
+		} else {
+			fail(w, http.StatusServiceUnavailable, "")
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, func() {
+		mu.Lock()
+		healthy = false
+		mu.Unlock()
+	}
+}
+
+// TestStaleSurvivesClientRestart: with a state dir, a freshly constructed
+// client (a restarted process) facing a dead server serves the last-good
+// result a previous incarnation persisted.
+func TestStaleSurvivesClientRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	ts, outage := flakyServer(t)
+	clk := newFakeClock()
+	withState := func(cfg *Config) {
+		cfg.MaxRetries = 1
+		cfg.StateDir = stateDir
+		cfg.Logf = t.Logf
+	}
+	ctx := context.Background()
+	req := server.EvaluateRequest{Bench: "compress"}
+
+	c1 := newClient(ts, clk, withState)
+	if res, err := c1.Evaluate(ctx, req); err != nil || res.Stale {
+		t.Fatalf("warm-up: res=%+v err=%v", res, err)
+	}
+
+	outage()
+
+	// Same state dir, brand-new client: the disk tier answers.
+	c2 := newClient(ts, clk, withState)
+	res, err := c2.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatalf("restarted client got no fallback: %v", err)
+	}
+	if !res.Stale || res.ID != "job-1" {
+		t.Fatalf("res = %+v, want stale job-1", res)
+	}
+
+	// A memory-only client has nothing: persistence, not luck.
+	c3 := newClient(ts, clk, func(cfg *Config) { cfg.MaxRetries = 1 })
+	var apiErr *APIError
+	if _, err := c3.Evaluate(ctx, req); !errors.As(err, &apiErr) {
+		t.Fatalf("memory-only client: err = %v, want APIError", err)
+	}
+}
+
+// TestStaleDiskCorruptionIsAMiss: a corrupted persisted result quarantines
+// inside the store and reads as a miss — the degraded call fails cleanly,
+// it does not crash or serve garbage.
+func TestStaleDiskCorruptionIsAMiss(t *testing.T) {
+	stateDir := t.TempDir()
+	ts, outage := flakyServer(t)
+	clk := newFakeClock()
+	withState := func(cfg *Config) {
+		cfg.MaxRetries = 1
+		cfg.StateDir = stateDir
+		cfg.Logf = t.Logf
+	}
+	ctx := context.Background()
+	req := server.EvaluateRequest{Bench: "compress"}
+
+	c1 := newClient(ts, clk, withState)
+	if _, err := c1.Evaluate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	arts, err := filepath.Glob(filepath.Join(stateDir, staleKind, "*.vpart"))
+	if err != nil || len(arts) == 0 {
+		t.Fatalf("no persisted stale artifacts (err=%v)", err)
+	}
+	for _, p := range arts {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	outage()
+	c2 := newClient(ts, clk, withState)
+	var apiErr *APIError
+	if _, err := c2.Evaluate(ctx, req); !errors.As(err, &apiErr) {
+		t.Fatalf("corrupt disk tier: err = %v, want clean APIError miss", err)
+	}
+}

@@ -22,6 +22,9 @@ type Agent struct {
 	logf     func(format string, args ...any)
 	hc       *http.Client
 
+	incomplete func() []string
+	onAbandon  func([]string)
+
 	mu     sync.Mutex
 	nodeID string
 
@@ -43,6 +46,14 @@ type AgentConfig struct {
 	Logf func(format string, args ...any)
 	// HTTPClient overrides the control-plane HTTP client (default: 5s timeout).
 	HTTPClient *http.Client
+	// Incomplete, when set, supplies the shard keys of journal-recovered
+	// jobs still owed at each (re-)registration — the worker half of the
+	// restart reconcile handshake (server.IncompleteJobKeys).
+	Incomplete func() []string
+	// OnAbandon receives the shard keys the coordinator reported as already
+	// completed elsewhere (typically server.AbandonJobs). Called only when
+	// the list is non-empty.
+	OnAbandon func(keys []string)
 }
 
 // StartAgent registers the worker with the coordinator and starts the
@@ -56,11 +67,13 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, fmt.Errorf("cluster: agent: advertise URL is required")
 	}
 	a := &Agent{
-		coordURL: cfg.CoordinatorURL,
-		baseURL:  cfg.AdvertiseURL,
-		version:  cfg.Version,
-		logf:     cfg.Logf,
-		hc:       cfg.HTTPClient,
+		coordURL:   cfg.CoordinatorURL,
+		baseURL:    cfg.AdvertiseURL,
+		version:    cfg.Version,
+		logf:       cfg.Logf,
+		hc:         cfg.HTTPClient,
+		incomplete: cfg.Incomplete,
+		onAbandon:  cfg.OnAbandon,
 	}
 	if a.logf == nil {
 		a.logf = func(string, ...any) {}
@@ -132,8 +145,12 @@ func (a *Agent) run() {
 func (a *Agent) register() (time.Duration, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	req := RegisterRequest{BaseURL: a.baseURL, Version: a.version}
+	if a.incomplete != nil {
+		req.Incomplete = a.incomplete()
+	}
 	var resp RegisterResponse
-	err := a.post(ctx, "/cluster/v1/register", RegisterRequest{BaseURL: a.baseURL, Version: a.version}, &resp)
+	err := a.post(ctx, "/cluster/v1/register", req, &resp)
 	if err != nil {
 		return 0, err
 	}
@@ -141,6 +158,10 @@ func (a *Agent) register() (time.Duration, error) {
 	a.nodeID = resp.NodeID
 	a.mu.Unlock()
 	a.logf("cluster agent: registered with %s as %s", a.coordURL, resp.NodeID)
+	if len(resp.Abandon) > 0 && a.onAbandon != nil {
+		a.logf("cluster agent: coordinator reports %d recovered shard(s) completed elsewhere, abandoning", len(resp.Abandon))
+		a.onAbandon(resp.Abandon)
+	}
 	return time.Duration(resp.HeartbeatIntervalMS) * time.Millisecond, nil
 }
 

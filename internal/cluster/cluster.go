@@ -92,6 +92,15 @@ type Config struct {
 	// RequestTimeout bounds one coordinator request end to end, re-dispatch
 	// attempts included (default 120s).
 	RequestTimeout time.Duration
+	// StateDir, when set, persists the completed-shard-key set (the worker
+	// restart reconcile handshake, DESIGN.md §13) across coordinator
+	// restarts via a journal at StateDir/completed.journal. Empty keeps the
+	// set in memory for the process lifetime only.
+	StateDir string
+	// CompletedKeys bounds the completed-shard-key set the reconcile
+	// handshake consults (default 4096, FIFO eviction; negative disables
+	// reconciliation entirely).
+	CompletedKeys int
 	// Client is the template for per-node clients; BaseURL is overridden
 	// per node and stale-result fallbacks are force-disabled. The zero
 	// template defaults to one retry with fast backoff — node-level
@@ -120,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 120 * time.Second
 	}
+	if c.CompletedKeys == 0 {
+		c.CompletedKeys = 4096
+	}
 	if c.Client.MaxRetries == 0 {
 		c.Client.MaxRetries = 1
 	}
@@ -140,17 +152,33 @@ func (c Config) withDefaults() Config {
 
 // Coordinator is the cluster front end. Create with New, serve via Handler.
 type Coordinator struct {
-	cfg     Config
-	reg     *registry
-	metrics *Metrics
-	mux     *http.ServeMux
-	nextJob atomic.Int64
+	cfg       Config
+	reg       *registry
+	metrics   *Metrics
+	completed *completedSet // nil when reconciliation is disabled
+	mux       *http.ServeMux
+	nextJob   atomic.Int64
 }
 
-// New builds a Coordinator.
+// New builds a Coordinator. It panics if the configured state directory
+// cannot be opened; daemons that want that surfaced as an error use Open.
 func New(cfg Config) *Coordinator {
+	co, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return co
+}
+
+// Open builds a Coordinator, replaying the completed-shard journal when
+// Config.StateDir is set.
+func Open(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	co := &Coordinator{cfg: cfg, metrics: &Metrics{}}
+	var err error
+	if co.completed, err = openCompletedSet(cfg.StateDir, cfg.CompletedKeys, cfg.Logf); err != nil {
+		return nil, err
+	}
 	co.reg = newRegistry(&co.cfg)
 	co.mux = http.NewServeMux()
 	co.mux.HandleFunc("GET /healthz", co.handleHealthz)
@@ -162,8 +190,12 @@ func New(cfg Config) *Coordinator {
 	co.mux.HandleFunc("GET /cluster/v1/nodes", co.handleNodes)
 	co.mux.HandleFunc("POST /v1/evaluate", co.handleEvaluate)
 	co.mux.HandleFunc("POST /v1/programs", co.handleSubmitProgram)
-	return co
+	return co, nil
 }
+
+// Close releases the coordinator's durable state (the completed-shard
+// journal). Safe on a coordinator without a state dir.
+func (co *Coordinator) Close() { co.completed.close() }
 
 // Handler returns the HTTP handler.
 func (co *Coordinator) Handler() http.Handler { return co.mux }

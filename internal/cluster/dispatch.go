@@ -259,6 +259,9 @@ func (co *Coordinator) evaluate(ctx context.Context, req server.EvaluateRequest)
 	if !shardable {
 		co.metrics.RequestsProxied.Add(1)
 		jr, _, err := co.dispatchShard(ctx, co.orderByLoad(cands), req)
+		if err == nil {
+			co.completed.record(req.ShardKey())
+		}
 		return jr, err
 	}
 
@@ -293,6 +296,9 @@ func (co *Coordinator) evaluate(ctx context.Context, req server.EvaluateRequest)
 			}
 			parts[i] = jr.Result
 			hits[i] = jr.CacheHit
+			// The node journaled exactly shardReq; remember its key so the
+			// node can skip the re-run if it crashed after completing it.
+			co.completed.record(shardReq.ShardKey())
 		}(i)
 	}
 	wg.Wait()

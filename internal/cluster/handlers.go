@@ -23,12 +23,21 @@ type RegisterRequest struct {
 	BaseURL string `json:"base_url"`
 	// Version is the worker's build version (logged; mismatches counted).
 	Version string `json:"version,omitempty"`
+	// Incomplete lists the shard keys (server.EvaluateRequest.ShardKey) of
+	// journaled jobs this worker recovered at startup and is about to
+	// re-run. The coordinator answers with the subset to abandon.
+	Incomplete []string `json:"incomplete,omitempty"`
 }
 
 // RegisterResponse tells the worker its identity and heartbeat cadence.
 type RegisterResponse struct {
 	NodeID              string  `json:"node_id"`
 	HeartbeatIntervalMS float64 `json:"heartbeat_interval_ms"`
+	// Abandon is the subset of the registration's Incomplete shard keys the
+	// coordinator already saw complete elsewhere (failover absorbed them
+	// while the worker was down); the worker should cancel those recovered
+	// jobs instead of re-running them.
+	Abandon []string `json:"abandon,omitempty"`
 }
 
 // HeartbeatRequest is the body of POST /cluster/v1/heartbeat and
@@ -89,6 +98,7 @@ func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RegisterResponse{
 		NodeID:              id,
 		HeartbeatIntervalMS: float64(co.cfg.HeartbeatInterval.Milliseconds()),
+		Abandon:             co.Reconcile(id, req.Incomplete),
 	})
 }
 

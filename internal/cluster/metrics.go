@@ -22,6 +22,7 @@ type Metrics struct {
 	ShardsRedispatched atomic.Int64 // shard attempts re-sent after a node failure
 	HedgesFired        atomic.Int64 // duplicate shard dispatches fired for tail latency
 	SpillsRouted       atomic.Int64 // requests routed past an overloaded affinity primary
+	ShardsReconciled   atomic.Int64 // recovered shards a re-registering node was told to abandon
 
 	dispatch server.Histogram // one shard dispatch round trip
 	merge    server.Histogram // scatter-gather merge latency
@@ -56,6 +57,8 @@ type MetricsSnapshot struct {
 	ShardsRedispatched int64 `json:"shards_redispatched"`
 	HedgesFired        int64 `json:"hedges_fired"`
 	SpillsRouted       int64 `json:"spills_routed"`
+	ShardsReconciled   int64 `json:"shards_reconciled"`
+	CompletedKeys      int   `json:"completed_keys"`
 
 	FaultsInjected int64                        `json:"faults_injected"`
 	FaultPoints    map[string]faults.PointStats `json:"fault_points,omitempty"`
@@ -82,6 +85,8 @@ func (co *Coordinator) metricsSnapshot() MetricsSnapshot {
 		ShardsRedispatched: co.metrics.ShardsRedispatched.Load(),
 		HedgesFired:        co.metrics.HedgesFired.Load(),
 		SpillsRouted:       co.metrics.SpillsRouted.Load(),
+		ShardsReconciled:   co.metrics.ShardsReconciled.Load(),
+		CompletedKeys:      co.completed.size(),
 		FaultsInjected:     int64(faults.Fired()),
 		FaultPoints:        faults.Snapshot(),
 		Stages: map[string]server.HistogramSnapshot{

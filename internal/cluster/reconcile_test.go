@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// TestCompletedSetBoundEvictionAndPersistence: the completed-shard set is a
+// bounded FIFO and, with a state dir, survives a coordinator restart.
+func TestCompletedSetBoundEvictionAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cs, err := openCompletedSet(dir, 3, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k1", "k2", "k3", "k4"} {
+		cs.record(k)
+	}
+	if cs.size() != 3 {
+		t.Fatalf("size = %d, want 3", cs.size())
+	}
+	if cs.has("k1") {
+		t.Fatal("oldest key k1 not evicted at the bound")
+	}
+	if !cs.has("k2") || !cs.has("k4") {
+		t.Fatal("retained keys missing")
+	}
+	cs.close()
+
+	cs2, err := openCompletedSet(dir, 3, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs2.close()
+	for _, k := range []string{"k2", "k3", "k4"} {
+		if !cs2.has(k) {
+			t.Fatalf("key %s lost across restart", k)
+		}
+	}
+	if cs2.has("k1") {
+		t.Fatal("evicted key resurrected by restart")
+	}
+}
+
+// TestCompletedSetJournalStaysBounded: the append-only journal is folded back
+// down once it doubles the live set, so a long-lived coordinator's state file
+// does not grow without bound.
+func TestCompletedSetJournalStaysBounded(t *testing.T) {
+	cs, err := openCompletedSet(t.TempDir(), 2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.close()
+	for i := 0; i < 50; i++ {
+		cs.record(string(rune('a' + i%26)))
+		cs.record(string(rune('A'+i%26)) + "x")
+	}
+	if n := cs.journal.Entries(); n > 5 {
+		t.Fatalf("journal grew to %d entries with a live set of 2", n)
+	}
+}
+
+// TestRegisterReconcileOverHTTP: a registration advertising incomplete shard
+// keys gets back exactly the subset the coordinator already saw complete.
+func TestRegisterReconcileOverHTTP(t *testing.T) {
+	co, cts, workers := newTestCluster(t, 1, Config{})
+
+	req := server.EvaluateRequest{Bench: "compress"}
+	resp, raw := postJSON(t, cts.URL+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: %d\n%s", resp.StatusCode, raw)
+	}
+	nreq := req
+	nreq.Normalize()
+	key := nreq.ShardKey()
+	if !co.completed.has(key) {
+		t.Fatalf("proxied evaluate did not record shard key %s", key)
+	}
+
+	resp, raw = postJSON(t, cts.URL+"/cluster/v1/register", RegisterRequest{
+		BaseURL:    workers[0].ts.URL,
+		Incomplete: []string{key, "prog/bogus|stride/e512/a2/fsm"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d\n%s", resp.StatusCode, raw)
+	}
+	var rr RegisterResponse
+	decodeInto(t, raw, &rr)
+	if len(rr.Abandon) != 1 || rr.Abandon[0] != key {
+		t.Fatalf("abandon = %v, want [%s]", rr.Abandon, key)
+	}
+	snap := co.metricsSnapshot()
+	if snap.ShardsReconciled != 1 {
+		t.Fatalf("shards_reconciled = %d, want 1", snap.ShardsReconciled)
+	}
+	if snap.CompletedKeys < 1 {
+		t.Fatalf("completed_keys = %d, want >= 1", snap.CompletedKeys)
+	}
+}
+
+// TestShardedSweepRecordsPerShardKeys: a scatter-gathered sweep records one
+// completed key per dispatched shard — the exact requests the worker-side
+// journals would name — not just the merged parent request.
+func TestShardedSweepRecordsPerShardKeys(t *testing.T) {
+	co, cts, _ := newTestCluster(t, 2, Config{})
+
+	req := server.EvaluateRequest{Bench: "compress", Thresholds: []float64{90, 80, 70, 50}}
+	resp, raw := postJSON(t, cts.URL+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: %d\n%s", resp.StatusCode, raw)
+	}
+	nreq := req
+	nreq.Normalize()
+	for _, chunk := range shardThresholds(nreq.Thresholds, 2) {
+		creq := nreq
+		creq.Thresholds = chunk
+		if !co.completed.has(creq.ShardKey()) {
+			t.Fatalf("shard key %s not recorded after sweep", creq.ShardKey())
+		}
+	}
+}
+
+// TestAgentAdvertisesIncompleteAndAbandons: the agent sends its Incomplete
+// provider's keys at registration and routes the coordinator's abandon list
+// to OnAbandon.
+func TestAgentAdvertisesIncompleteAndAbandons(t *testing.T) {
+	co, cts, _ := newTestCluster(t, 1, Config{})
+	co.completed.record("done-key")
+
+	abandoned := make(chan []string, 1)
+	agent, err := StartAgent(AgentConfig{
+		CoordinatorURL: cts.URL,
+		AdvertiseURL:   "http://127.0.0.1:1",
+		Logf:           t.Logf,
+		Incomplete:     func() []string { return []string{"done-key", "pending-key"} },
+		OnAbandon:      func(keys []string) { abandoned <- keys },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	select {
+	case keys := <-abandoned:
+		if len(keys) != 1 || keys[0] != "done-key" {
+			t.Fatalf("OnAbandon(%v), want [done-key]", keys)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnAbandon never called")
+	}
+}
+
+// TestWorkerRestartReconcileEndToEnd is the coordinator-side restart
+// robustness proof: a worker crashes mid-sweep with the job journaled; the
+// fleet completes the same work via the coordinator while it is down; the
+// restarted worker's incomplete set reconciles against the coordinator and
+// the recovered job is abandoned instead of re-run — and stays abandoned
+// across the next restart.
+func TestWorkerRestartReconcileEndToEnd(t *testing.T) {
+	stateDir := t.TempDir()
+	req := server.EvaluateRequest{Bench: "compress", Thresholds: []float64{95, 90, 80, 70, 60, 50}}
+	cfg := server.Config{Workers: 1, StateDir: stateDir, SweepCheckpoint: 1, Logf: t.Logf}
+
+	// Appends: accept(1), then chunk 0's checkpoint(2) fails and wedges the
+	// journal — a crash between two fsyncs. The accept survives on disk.
+	plan, err := faults.NewPlan(faults.Rule{Point: durable.PointJournal, Mode: faults.ModeError, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(plan)
+	s1, err := server.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	resp, raw := postJSON(t, ts1.URL+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("wedged sweep: %d, want 500\n%s", resp.StatusCode, raw)
+	}
+	ts1.Close()
+	shutdownServer(t, s1)
+	faults.Disable()
+
+	// Meanwhile the fleet finished the identical request through the
+	// coordinator (one healthy node, proxied whole).
+	co, cts, _ := newTestCluster(t, 1, Config{})
+	resp, raw = postJSON(t, cts.URL+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet evaluate: %d\n%s", resp.StatusCode, raw)
+	}
+
+	// Restart the crashed worker: it recovers job-1 and advertises its key.
+	s2, err := server.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	keys := s2.IncompleteJobKeys()
+	if len(keys) != 1 {
+		t.Fatalf("incomplete keys after restart = %v, want 1 entry", keys)
+	}
+	abandon := co.Reconcile("node-restarted", keys)
+	if len(abandon) != 1 || abandon[0] != keys[0] {
+		t.Fatalf("reconcile(%v) = %v, want the full set", keys, abandon)
+	}
+	if n := s2.AbandonJobs(abandon); n != 1 {
+		t.Fatalf("AbandonJobs = %d, want 1", n)
+	}
+	if left := s2.IncompleteJobKeys(); len(left) != 0 {
+		t.Fatalf("incomplete keys after abandon = %v, want none", left)
+	}
+
+	// The abandoned job reaches a terminal state (cancelled), and the next
+	// restart recovers nothing — the fail entry made the abandonment durable.
+	var jr server.JobResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts2.URL+"/v1/jobs/job-1", &jr)
+		if jr.Status == server.StatusDone || jr.Status == server.StatusFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned job never terminal: %+v", jr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts2.Close()
+	shutdownServer(t, s2)
+
+	s3, err := server.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, s3)
+	if keys := s3.IncompleteJobKeys(); len(keys) != 0 {
+		t.Fatalf("abandoned job resurrected on next restart: %v", keys)
+	}
+}
+
+func decodeInto(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+func shutdownServer(t *testing.T, s *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

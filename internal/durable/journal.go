@@ -1,0 +1,166 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faults"
+)
+
+// journalMagic heads a journal file; the rest is a run of frames.
+const journalMagic = "VPJRN01\n"
+
+// Journal is an append-only write-ahead log of opaque entries. Appends are
+// framed, written, and fsynced before returning, so an acknowledged entry
+// survives SIGKILL. On open, a torn tail — the frame being appended when the
+// process died — is salvaged by truncating back to the last whole frame.
+//
+// After the first failed append the journal wedges: Append returns ErrWedged
+// until the process restarts. A journal that may have dropped an entry can no
+// longer order recovery, and wedging makes an injected append fault behave
+// exactly like a crash at that point, which is what the chaos suites lean on.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	wedged  bool
+	entries atomic.Int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path and returns the
+// salvaged entries already in it, oldest first. A torn or corrupt tail is
+// truncated away; a file with a bad magic is treated as corrupt and rotated
+// aside (".corrupt") so a fresh journal can start — losing a journal is
+// recoverable (jobs replay from scratch), crashing on one is not.
+func OpenJournal(path string) (*Journal, [][]byte, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: open journal %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("durable: read journal %s: %w", path, err)
+	}
+
+	var entries [][]byte
+	good := 0
+	switch {
+	case len(data) == 0:
+		// Fresh (or empty) journal: write the magic below.
+	case len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic:
+		// Unrecognizable: rotate it aside rather than appending frames a
+		// future open could not parse.
+		_ = os.Rename(path, path+".corrupt")
+	default:
+		var perr error
+		entries, good, perr = DecodeFrames(data[len(journalMagic):])
+		good += len(journalMagic)
+		if perr != nil && good < len(data) {
+			// Torn tail: keep the whole frames, drop the remnant.
+			if err := os.Truncate(path, int64(good)); err != nil {
+				return nil, nil, fmt.Errorf("durable: salvage journal %s: %w", path, err)
+			}
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open journal %s: %w", path, err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
+		if _, err := f.Write([]byte(journalMagic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: init journal %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: init journal %s: %w", path, err)
+		}
+	}
+
+	// Entries alias the read buffer; copy so callers can hold them freely.
+	out := make([][]byte, len(entries))
+	for i, e := range entries {
+		out[i] = append([]byte(nil), e...)
+	}
+	j := &Journal{f: f, path: path}
+	j.entries.Store(int64(len(out)))
+	return j, out, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Entries returns the number of entries appended or salvaged so far.
+func (j *Journal) Entries() int64 { return j.entries.Load() }
+
+// Append frames, writes, and fsyncs one entry. It returns only after the
+// entry is durable, so callers may acknowledge work to their clients the
+// moment it returns. After any failure the journal is wedged.
+func (j *Journal) Append(entry []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		return ErrWedged
+	}
+	if err := faults.Inject(PointJournal); err != nil {
+		j.wedged = true
+		return err
+	}
+	frame := AppendFrame(nil, entry)
+	if _, err := j.f.Write(frame); err != nil {
+		j.wedged = true
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.wedged = true
+		return fmt.Errorf("durable: journal fsync: %w", err)
+	}
+	j.entries.Add(1)
+	return nil
+}
+
+// Wedged reports whether a previous append failed.
+func (j *Journal) Wedged() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wedged
+}
+
+// Rewrite compacts the journal to exactly the given entries (atomically, via
+// a temp file + rename), then reopens it for appending. Used after recovery
+// to drop completed jobs' records.
+func (j *Journal) Rewrite(entries [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		return ErrWedged
+	}
+	buf := []byte(journalMagic)
+	for _, e := range entries {
+		buf = AppendFrame(buf, e)
+	}
+	if err := WriteFileAtomic(j.path, buf); err != nil {
+		j.wedged = true
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.wedged = true
+		return fmt.Errorf("durable: reopen journal %s: %w", j.path, err)
+	}
+	j.f.Close()
+	j.f = f
+	j.entries.Store(int64(len(entries)))
+	return nil
+}
+
+// Close closes the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.wedged = true
+	return j.f.Close()
+}

@@ -1,0 +1,225 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, [][]byte) {
+	t.Helper()
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, entries
+}
+
+func TestJournalAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, entries := openTestJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	want := [][]byte{[]byte(`{"type":"accept"}`), []byte(`{"type":"shard","chunk":0}`), {}}
+	for _, e := range want {
+		if err := j.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if j.Entries() != 3 {
+		t.Fatalf("Entries = %d", j.Entries())
+	}
+	j.Close()
+
+	_, got := openTestJournal(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("reopened %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("entry %d: %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalSalvagesTornTail simulates a crash mid-append by chopping bytes
+// off the end of the file: reopening must keep every whole frame and truncate
+// the remnant, and the reopened journal must accept new appends cleanly.
+func TestJournalSalvagesTornTail(t *testing.T) {
+	base := t.TempDir()
+	whole := [][]byte{[]byte("entry-one"), []byte("entry-two"), []byte("entry-three")}
+
+	// Build a clean journal once to learn the frame boundaries.
+	ref := filepath.Join(base, "ref.journal")
+	j, _ := openTestJournal(t, ref)
+	var boundaries []int64
+	for _, e := range whole {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, fi.Size())
+	}
+	j.Close()
+	refData, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lastBoundaryEntries := func(n int64) int {
+		count := 0
+		for i, b := range boundaries {
+			if b <= n {
+				count = i + 1
+			}
+		}
+		return count
+	}
+	for cut := int64(len(journalMagic)); cut <= int64(len(refData)); cut++ {
+		path := filepath.Join(base, fmt.Sprintf("torn-%d.journal", cut))
+		if err := os.WriteFile(path, refData[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, entries := openTestJournal(t, path)
+		wantN := lastBoundaryEntries(cut)
+		if len(entries) != wantN {
+			t.Fatalf("cut %d: salvaged %d entries, want %d", cut, len(entries), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			if !bytes.Equal(entries[i], whole[i]) {
+				t.Fatalf("cut %d entry %d: %q", cut, i, entries[i])
+			}
+		}
+		// The journal keeps working after salvage.
+		if err := j.Append([]byte("post-salvage")); err != nil {
+			t.Fatalf("cut %d: append after salvage: %v", cut, err)
+		}
+		j.Close()
+		_, again := openTestJournal(t, path)
+		if len(again) != wantN+1 || string(again[wantN]) != "post-salvage" {
+			t.Fatalf("cut %d: reopen after salvage: %q", cut, again)
+		}
+	}
+}
+
+func TestJournalBadMagicRotatesAside(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries := openTestJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("entries from garbage file: %q", entries)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt journal not rotated aside: %v", err)
+	}
+	if err := j.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalWedgesAfterFailedAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openTestJournal(t, path)
+	if err := j.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := faults.NewPlan(
+		faults.Rule{Point: PointJournal, Mode: faults.ModeError, N: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(plan)
+	defer faults.Disable()
+
+	if err := j.Append([]byte("dropped")); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("append under fault: %v", err)
+	}
+	if !j.Wedged() {
+		t.Fatal("journal not wedged after failed append")
+	}
+	// Every later append refuses, even though the fault rule is exhausted:
+	// a journal with a possible hole must not take new entries.
+	if err := j.Append([]byte("after")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after wedge: %v", err)
+	}
+	if err := j.Rewrite(nil); !errors.Is(err, ErrWedged) {
+		t.Fatalf("rewrite after wedge: %v", err)
+	}
+
+	// Restarting (reopening) recovers: only the acknowledged entry is there.
+	j.Close()
+	j2, entries := openTestJournal(t, path)
+	if len(entries) != 1 || string(entries[0]) != "good" {
+		t.Fatalf("reopened entries: %q", entries)
+	}
+	if err := j2.Append([]byte("recovered")); err != nil {
+		t.Fatalf("append after restart: %v", err)
+	}
+}
+
+func TestJournalRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openTestJournal(t, path)
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("entry-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := [][]byte{[]byte("entry-3"), []byte("entry-4")}
+	if err := j.Rewrite(keep); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if j.Entries() != 2 {
+		t.Fatalf("Entries after rewrite = %d", j.Entries())
+	}
+	// Appends continue after compaction and land after the kept entries.
+	if err := j.Append([]byte("entry-5")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, entries := openTestJournal(t, path)
+	want := []string{"entry-3", "entry-4", "entry-5"}
+	if len(entries) != len(want) {
+		t.Fatalf("entries after rewrite+append: %q", entries)
+	}
+	for i, w := range want {
+		if string(entries[i]) != w {
+			t.Fatalf("entry %d = %q, want %q", i, entries[i], w)
+		}
+	}
+}
+
+func TestJournalEmptyFileGetsMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries := openTestJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("entries = %q", entries)
+	}
+	if err := j.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(journalMagic)) {
+		t.Fatalf("journal missing magic: %q", data[:16])
+	}
+}

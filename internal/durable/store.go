@@ -1,0 +1,222 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/faults"
+)
+
+// artifactMagic heads every artifact file. VPART01 = frame(key) + frame(payload).
+const artifactMagic = "VPART01\n"
+
+// quarantineDir is the subdirectory (under the store root) that corrupt
+// artifact files are moved into instead of being deleted, so a post-mortem
+// can look at what the crash actually tore.
+const quarantineDir = "quarantine"
+
+// StoreStats is a point-in-time view of a store's counters, surfaced through
+// /metrics as the `durable` block.
+type StoreStats struct {
+	Puts        int64 `json:"disk_puts"`
+	PutErrors   int64 `json:"disk_put_errors"`
+	Hits        int64 `json:"disk_hits"`
+	Misses      int64 `json:"disk_misses"`
+	Quarantined int64 `json:"quarantined_entries"`
+	TmpGCed     int64 `json:"tmp_files_gced"`
+	DiskBytes   int64 `json:"cache_disk_bytes"`
+}
+
+// Store is a persistent, fingerprint-keyed artifact store: one file per
+// entry under <dir>/<kind>/<sha256(key)>.vpart, written atomically and read
+// back with CRC validation. It backs the in-memory LRU caches; a Get miss
+// (including a quarantined corrupt entry) simply means the caller recomputes.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	logf func(string, ...any)
+
+	puts        atomic.Int64
+	putErrors   atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	quarantined atomic.Int64
+	tmpGCed     atomic.Int64
+	diskBytes   atomic.Int64
+}
+
+// OpenStore opens (creating if needed) an artifact store rooted at dir. It
+// sweeps orphan "*.tmp" files left by a crash between create and rename, and
+// walks the tree once to initialize the disk-usage gauge. logf may be nil.
+func OpenStore(dir string, logf func(string, ...any)) (*Store, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open store %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, logf: logf}
+	s.tmpGCed.Store(sweepTmpFiles(dir))
+	s.diskBytes.Store(treeBytes(dir))
+	return s, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Puts:        s.puts.Load(),
+		PutErrors:   s.putErrors.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Quarantined: s.quarantined.Load(),
+		TmpGCed:     s.tmpGCed.Load(),
+		DiskBytes:   s.diskBytes.Load(),
+	}
+}
+
+// path maps (kind, key) to the entry's file. Keys are arbitrary strings
+// (fingerprints plus config suffixes), so the filename is the key's SHA-256;
+// the key itself is embedded in the file and validated on read.
+func (s *Store) path(kind, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, kind, hex.EncodeToString(sum[:])+".vpart")
+}
+
+// EncodeArtifact renders the on-disk artifact image for (key, payload).
+// Exposed for the fuzz harness and fixture generators.
+func EncodeArtifact(key string, payload []byte) []byte {
+	buf := make([]byte, 0, len(artifactMagic)+2*frameHeaderSize+len(key)+len(payload))
+	buf = append(buf, artifactMagic...)
+	buf = AppendFrame(buf, []byte(key))
+	return AppendFrame(buf, payload)
+}
+
+// DecodeArtifact parses an on-disk artifact image, validating magic, frames,
+// and that exactly a key frame and a payload frame are present. Exposed for
+// the fuzz harness.
+func DecodeArtifact(data []byte) (key string, payload []byte, err error) {
+	if len(data) < len(artifactMagic) || string(data[:len(artifactMagic)]) != artifactMagic {
+		return "", nil, fmt.Errorf("%w: bad artifact magic", ErrCorrupt)
+	}
+	keyBytes, rest, err := NextFrame(data[len(artifactMagic):])
+	if err != nil {
+		return "", nil, err
+	}
+	if keyBytes == nil {
+		return "", nil, fmt.Errorf("%w: artifact missing key frame", ErrTruncated)
+	}
+	payload, rest, err = NextFrame(rest)
+	if err != nil {
+		return "", nil, err
+	}
+	if payload == nil {
+		return "", nil, fmt.Errorf("%w: artifact missing payload frame", ErrTruncated)
+	}
+	if len(rest) != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes after artifact", ErrCorrupt, len(rest))
+	}
+	return string(keyBytes), payload, nil
+}
+
+// Put durably writes one artifact. Failures are counted and returned but are
+// never fatal to the caller's computation — the store is a cache tier.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	if err := faults.Inject(PointWrite); err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	path := s.path(kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	var prev int64
+	if fi, err := os.Stat(path); err == nil {
+		prev = fi.Size()
+	}
+	data := EncodeArtifact(key, payload)
+	if err := WriteFileAtomic(path, data); err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	s.puts.Add(1)
+	s.diskBytes.Add(int64(len(data)) - prev)
+	return nil
+}
+
+// Get reads an artifact back. A missing entry returns (nil, false, nil). A
+// corrupt, truncated, or key-mismatched entry is quarantined — renamed into
+// the quarantine directory, counted, logged — and reported as a miss so the
+// caller transparently recomputes. Only unexpected I/O errors are returned.
+func (s *Store) Get(kind, key string) ([]byte, bool, error) {
+	if err := faults.Inject(PointLoad); err != nil {
+		s.misses.Add(1)
+		return nil, false, err
+	}
+	path := s.path(kind, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	gotKey, payload, err := DecodeArtifact(data)
+	if err == nil && gotKey != key {
+		err = fmt.Errorf("%w: artifact key mismatch (hash collision or tampering)", ErrCorrupt)
+	}
+	if err != nil {
+		s.quarantine(path, int64(len(data)), err)
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	return payload, true, nil
+}
+
+// quarantine moves a bad artifact file aside and accounts for it. Deletion
+// is a last resort if the rename itself fails.
+func (s *Store) quarantine(path string, size int64, cause error) {
+	dest := filepath.Join(s.dir, quarantineDir, filepath.Base(path))
+	if err := os.Rename(path, dest); err != nil {
+		os.Remove(path)
+	}
+	s.diskBytes.Add(-size)
+	s.quarantined.Add(1)
+	s.logf("durable: quarantined %s: %v", filepath.Base(path), cause)
+}
+
+// treeBytes sums regular-file sizes under dir, excluding the quarantine
+// subtree (quarantined bytes are dead weight, not cache).
+func treeBytes(dir string) (total int64) {
+	q := filepath.Join(dir, quarantineDir)
+	_ = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if path == q {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".vpart") {
+			if fi, err := d.Info(); err == nil {
+				total += fi.Size()
+			}
+		}
+		return nil
+	})
+	return total
+}

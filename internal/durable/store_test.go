@@ -1,0 +1,258 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := openTestStore(t)
+	payload := []byte("profile image bytes")
+	if err := s.Put("images", "fp-1", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := s.Get("images", "fp-1")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	if _, ok, err := s.Get("images", "fp-2"); ok || err != nil {
+		t.Fatalf("miss: ok=%v err=%v", ok, err)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DiskBytes <= 0 {
+		t.Fatalf("DiskBytes = %d", st.DiskBytes)
+	}
+}
+
+func TestStorePutOverwriteKeepsGaugeHonest(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.Put("results", "k", bytes.Repeat([]byte("a"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	big := s.Stats().DiskBytes
+	if err := s.Put("results", "k", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	small := s.Stats().DiskBytes
+	if small >= big || small <= 0 {
+		t.Fatalf("gauge after overwrite: %d -> %d", big, small)
+	}
+}
+
+func TestStoreReopenCountsBytesAndServesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("traces", "fp-9", []byte("trace-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Stats().DiskBytes
+
+	s2, err := OpenStore(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().DiskBytes; got != want {
+		t.Fatalf("reopened DiskBytes = %d, want %d", got, want)
+	}
+	payload, ok, err := s2.Get("traces", "fp-9")
+	if err != nil || !ok || string(payload) != "trace-bytes" {
+		t.Fatalf("reopened Get = %q, %v, %v", payload, ok, err)
+	}
+}
+
+// TestStoreCorruptionAtEveryOffset truncates and bit-flips a stored artifact
+// at every byte offset (the PR 5 truncation-fixture approach applied to the
+// artifact format). Every mutation must read back as a quarantined miss —
+// never a panic, never a torn payload.
+func TestStoreCorruptionAtEveryOffset(t *testing.T) {
+	key, payload := "fp-corrupt|t0.25", []byte("sweep result body 0123456789")
+	clean := EncodeArtifact(key, payload)
+
+	check := func(t *testing.T, mutate func([]byte) []byte) {
+		t.Helper()
+		s := openTestStore(t)
+		if err := s.Put("results", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		path := s.path("results", key)
+		if err := os.WriteFile(path, mutate(append([]byte(nil), clean...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := s.Get("results", key)
+		if err != nil {
+			t.Fatalf("Get error: %v", err)
+		}
+		if ok {
+			t.Fatalf("corrupt entry served as hit: %q", got)
+		}
+		if st := s.Stats(); st.Quarantined != 1 {
+			t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("corrupt file still present at %s", path)
+		}
+		// The quarantined copy is kept for post-mortem.
+		q := filepath.Join(s.Dir(), quarantineDir, filepath.Base(path))
+		if _, err := os.Stat(q); err != nil {
+			t.Fatalf("quarantine copy: %v", err)
+		}
+		// The miss is transparent: a fresh Put + Get works again.
+		if err := s.Put("results", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok, err := s.Get("results", key); err != nil || !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("recompute path: %q %v %v", got, ok, err)
+		}
+	}
+
+	t.Run("truncate", func(t *testing.T) {
+		for cut := 0; cut < len(clean); cut++ {
+			cut := cut
+			check(t, func(b []byte) []byte { return b[:cut] })
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		for i := range clean {
+			i := i
+			check(t, func(b []byte) []byte { b[i] ^= 0xFF; return b })
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		check(t, func([]byte) []byte { return nil })
+	})
+}
+
+func TestStoreKeyMismatchQuarantines(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.Put("annos", "key-a", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the file with a validly framed artifact for a different key:
+	// simulates a hash collision / tampering. Must quarantine, not serve.
+	path := s.path("annos", "key-a")
+	if err := os.WriteFile(path, EncodeArtifact("key-b", []byte("body")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("annos", "key-a"); ok || err != nil {
+		t.Fatalf("mismatched key served: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d", st.Quarantined)
+	}
+}
+
+func TestStoreTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "images"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"images/abc.vpart.123456.tmp",
+		"orphan.tmp",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := filepath.Join(dir, "images", "keep.vpart")
+	if err := os.WriteFile(keep, EncodeArtifact("k", []byte("v")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().TmpGCed; got != 2 {
+		t.Fatalf("TmpGCed = %d, want 2", got)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("non-tmp file removed: %v", err)
+	}
+	entries, _ := filepath.Glob(filepath.Join(dir, "*", "*.tmp"))
+	if len(entries) != 0 {
+		t.Fatalf("tmp files survived sweep: %v", entries)
+	}
+}
+
+func TestStoreFaultInjection(t *testing.T) {
+	s := openTestStore(t)
+	plan, err := faults.NewPlan(
+		faults.Rule{Point: PointWrite, Mode: faults.ModeError, N: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(plan)
+	defer faults.Disable()
+
+	if err := s.Put("results", "k", []byte("v")); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Put under durable.write fault: %v", err)
+	}
+	if st := s.Stats(); st.PutErrors != 1 {
+		t.Fatalf("PutErrors = %d", st.PutErrors)
+	}
+	// Second Put succeeds (n=1 rule fired once).
+	if err := s.Put("results", "k", []byte("v")); err != nil {
+		t.Fatalf("Put after fault: %v", err)
+	}
+
+	faults.Disable()
+	plan, err = faults.NewPlan(
+		faults.Rule{Point: PointLoad, Mode: faults.ModeError, N: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(plan)
+	if _, ok, err := s.Get("results", "k"); ok || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Get under durable.load fault: ok=%v err=%v", ok, err)
+	}
+	if got, ok, err := s.Get("results", "k"); err != nil || !ok || string(got) != "v" {
+		t.Fatalf("Get after fault: %q %v %v", got, ok, err)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTmpOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.vpart")
+	if err := WriteFileAtomic(path, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "data" {
+		t.Fatalf("read back: %q %v", data, err)
+	}
+}

@@ -1,0 +1,384 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+)
+
+// newDurableServer is newTestServer without the automatic cleanup shutdown:
+// durability tests stop and restart daemons mid-test, so they own the
+// lifecycle explicitly via the returned stop func (safe to call twice).
+func newDurableServer(t *testing.T, cfg Config) (*Server, *httptest.Server, func()) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return s, ts, stop
+}
+
+func mustMarshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// evalOK posts a synchronous evaluate and returns the decoded response.
+func evalOK(t *testing.T, url string, req EvaluateRequest) JobResponse {
+	t.Helper()
+	resp, raw := postJSON(t, url+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: %d\n%s", resp.StatusCode, raw)
+	}
+	jr := decodeJob(t, raw)
+	if jr.Result == nil {
+		t.Fatalf("no result in %s", raw)
+	}
+	return jr
+}
+
+// TestCheckpointedSweepMatchesSinglePass: a journaled, chunked sweep must
+// produce a byte-identical report.Run to the uninterrupted single-pass sweep
+// a stateless server computes.
+func TestCheckpointedSweepMatchesSinglePass(t *testing.T) {
+	req := EvaluateRequest{Bench: "compress", Thresholds: []float64{95, 90, 70, 50, 30}, ILP: true}
+
+	_, plain := newTestServer(t, Config{Workers: 2})
+	want := evalOK(t, plain.URL, req)
+
+	s, ts, _ := newDurableServer(t, Config{
+		Workers: 2, StateDir: t.TempDir(), SweepCheckpoint: 2,
+	})
+	got := evalOK(t, ts.URL, req)
+
+	if g, w := mustMarshal(t, got.Result), mustMarshal(t, want.Result); g != w {
+		t.Fatalf("checkpointed sweep differs from single-pass:\ncheckpointed: %s\nsingle-pass:  %s", g, w)
+	}
+	// 5 thresholds at chunk size 2 → 3 journaled checkpoints.
+	if n := s.dur.sweepCheckpoints.Load(); n != 3 {
+		t.Fatalf("sweep checkpoints = %d, want 3", n)
+	}
+}
+
+// TestCrashResumeByteIdentical is the tentpole chaos proof: a sweep killed
+// mid-flight (simulated by wedging the journal at a checkpoint append, the
+// in-process equivalent of SIGKILL between two fsyncs) must, after a restart
+// on the same state dir, be re-enqueued under its original job id, resume
+// from its last completed chunk, and produce a report.Run byte-identical to
+// an uninterrupted run.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	req := EvaluateRequest{Bench: "compress", Thresholds: []float64{90, 70, 50}, ILP: true}
+	stateDir := t.TempDir()
+
+	_, plain := newTestServer(t, Config{Workers: 2})
+	want := evalOK(t, plain.URL, req)
+
+	// Appends for the job: accept(1), chunk 0(2), chunk 1(3) — the rule kills
+	// the second checkpoint, after which the journal is wedged (nothing
+	// later, including the fail entry, lands — exactly a crash).
+	plan, err := faults.NewPlan(faults.Rule{Point: durable.PointJournal, Mode: faults.ModeError, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(plan)
+	defer faults.Disable()
+
+	_, ts1, stop1 := newDurableServer(t, Config{
+		Workers: 1, StateDir: stateDir, SweepCheckpoint: 1,
+	})
+	resp, raw := postJSON(t, ts1.URL+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("wedged sweep: status %d, want 500\n%s", resp.StatusCode, raw)
+	}
+	stop1()
+	faults.Disable()
+
+	// Restart on the same state dir: the journal holds accept + chunk 0.
+	s2, ts2, _ := newDurableServer(t, Config{
+		Workers: 1, StateDir: stateDir, SweepCheckpoint: 1,
+	})
+
+	// The original job id survives the restart; poll it to completion.
+	var jr JobResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp := getJSON(t, ts2.URL+"/v1/jobs/job-1", &jr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll job-1 after restart: %d", resp.StatusCode)
+		}
+		if jr.Status == StatusDone || jr.Status == StatusFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job-1 not finished after restart: %+v", jr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if jr.Status != StatusDone || jr.Result == nil {
+		t.Fatalf("resumed job: %+v", jr)
+	}
+	if g, w := mustMarshal(t, jr.Result), mustMarshal(t, want.Result); g != w {
+		t.Fatalf("resumed sweep differs from uninterrupted run:\nresumed:       %s\nuninterrupted: %s", g, w)
+	}
+	if n := s2.dur.recoveredJobs.Load(); n != 1 {
+		t.Fatalf("recovered jobs = %d, want 1", n)
+	}
+	if n := s2.dur.chunksResumed.Load(); n != 1 {
+		t.Fatalf("chunks resumed = %d, want 1 (only chunk 0 was journaled)", n)
+	}
+	// A fresh submission must not collide with the recovered id.
+	resp, raw = postJSON(t, ts2.URL+"/v1/jobs", EvaluateRequest{Bench: "compress"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after restart: %d\n%s", resp.StatusCode, raw)
+	}
+	if id := decodeJob(t, raw).ID; id == "job-1" {
+		t.Fatalf("new job reused recovered id %s", id)
+	}
+}
+
+// TestWarmRestartServesFromDisk: a clean stop and restart must serve a
+// previously computed fingerprint from the disk tier — no re-simulation,
+// asserted via the record-stage counter staying at zero.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	stateDir := t.TempDir()
+	req := EvaluateRequest{Bench: "compress", Classifier: "profile", Threshold: 70, ILP: true}
+
+	_, ts1, stop1 := newDurableServer(t, Config{Workers: 2, StateDir: stateDir})
+	first := evalOK(t, ts1.URL, req)
+	if first.CacheHit {
+		t.Fatal("first evaluation reported a cache hit")
+	}
+	stop1()
+
+	s2, ts2, _ := newDurableServer(t, Config{Workers: 2, StateDir: stateDir})
+	second := evalOK(t, ts2.URL, req)
+	if !second.CacheHit {
+		t.Fatal("warm restart did not report a cache hit")
+	}
+	if g, w := mustMarshal(t, second.Result), mustMarshal(t, first.Result); g != w {
+		t.Fatalf("disk-served result differs:\nrestart: %s\noriginal: %s", g, w)
+	}
+
+	var snap MetricsSnapshot
+	getJSON(t, ts2.URL+"/metrics", &snap)
+	if rec := snap.Stages[stageRecord]; rec.Count != 0 {
+		t.Fatalf("record stage ran %d times after warm restart, want 0", rec.Count)
+	}
+	if snap.Durable == nil || snap.Durable.Hits < 1 {
+		t.Fatalf("durable disk hits missing from /metrics: %+v", snap.Durable)
+	}
+	if snap.Durable.RecoveredJobs != 0 {
+		t.Fatalf("clean restart recovered %d jobs, want 0", snap.Durable.RecoveredJobs)
+	}
+	if s2.dur.journal.Entries() == 0 {
+		t.Fatal("journal has no entries after a served job")
+	}
+}
+
+// TestCorruptDiskEntriesQuarantineAndRecompute: flipping a byte in every
+// persisted artifact must never crash the restarted daemon — each corrupt
+// entry quarantines, the caches miss, and the recomputed result is identical.
+func TestCorruptDiskEntriesQuarantineAndRecompute(t *testing.T) {
+	stateDir := t.TempDir()
+	req := EvaluateRequest{Bench: "compress", Classifier: "profile", Threshold: 70}
+
+	_, ts1, stop1 := newDurableServer(t, Config{Workers: 2, StateDir: stateDir})
+	first := evalOK(t, ts1.URL, req)
+	stop1()
+
+	arts, err := filepath.Glob(filepath.Join(stateDir, "*", "*.vpart"))
+	if err != nil || len(arts) == 0 {
+		t.Fatalf("no artifacts persisted under %s (err=%v)", stateDir, err)
+	}
+	for _, path := range arts {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, ts2, _ := newDurableServer(t, Config{Workers: 2, StateDir: stateDir, Logf: t.Logf})
+	second := evalOK(t, ts2.URL, req)
+	if second.CacheHit {
+		t.Fatal("corrupt disk entries served as a cache hit")
+	}
+	if g, w := mustMarshal(t, second.Result), mustMarshal(t, first.Result); g != w {
+		t.Fatalf("recomputed result differs:\nrecomputed: %s\noriginal:   %s", g, w)
+	}
+	st := s2.dur.store.Stats()
+	if st.Quarantined == 0 {
+		t.Fatal("no corrupt entries quarantined")
+	}
+	// The recompute re-persisted the artifacts: a further restart is warm.
+	_, ts3, _ := newDurableServer(t, Config{Workers: 2, StateDir: stateDir})
+	if third := evalOK(t, ts3.URL, req); !third.CacheHit {
+		t.Fatal("re-persisted artifacts not served after the next restart")
+	}
+}
+
+// TestSubmitRejectedWhenJournalWedged: if the accept entry cannot be made
+// durable the submit must be refused with 503 (retryable), not silently
+// accepted into a journal hole.
+func TestSubmitRejectedWhenJournalWedged(t *testing.T) {
+	s, ts, _ := newDurableServer(t, Config{Workers: 1, StateDir: t.TempDir()})
+
+	plan, err := faults.NewPlan(faults.Rule{Point: durable.PointJournal, Mode: faults.ModeError, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(plan)
+	defer faults.Disable()
+
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", EvaluateRequest{Bench: "compress"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit with wedged journal: %d, want 503\n%s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// The journal stays wedged (crash semantics) — later submits also refuse
+	// until a restart, and no half-accepted job is registered.
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", EvaluateRequest{Bench: "compress"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second submit after wedge: %d, want 503", resp.StatusCode)
+	}
+	s.mu.Lock()
+	pending := len(s.jobs)
+	s.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d jobs registered despite journal refusals", pending)
+	}
+}
+
+// TestStartupTmpSweepMetric: orphan temp files from a crash mid-rename are
+// collected at open and surfaced in /metrics.
+func TestStartupTmpSweepMetric(t *testing.T) {
+	stateDir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(stateDir, kindResults), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(stateDir, kindResults, "deadbeef.vpart.1234.tmp")
+	if err := os.WriteFile(orphan, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts, _ := newDurableServer(t, Config{Workers: 1, StateDir: stateDir})
+	var snap MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if snap.Durable == nil || snap.Durable.TmpGCed != 1 {
+		t.Fatalf("tmp_files_gced = %+v, want 1", snap.Durable)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan tmp file survived startup: %v", err)
+	}
+
+	// The wire format carries the durable block under its documented name.
+	var rawSnap map[string]json.RawMessage
+	getJSON(t, ts.URL+"/metrics", &rawSnap)
+	durRaw, ok := rawSnap["durable"]
+	if !ok {
+		t.Fatal("/metrics missing \"durable\" block")
+	}
+	var durFields map[string]json.RawMessage
+	if err := json.Unmarshal(durRaw, &durFields); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"journal_entries", "cache_disk_bytes", "recovered_jobs", "quarantined_entries", "tmp_files_gced"} {
+		if _, ok := durFields[field]; !ok {
+			t.Errorf("/metrics durable block missing %q", field)
+		}
+	}
+}
+
+// TestRecoveredSingleJobReruns: a non-sweep job interrupted before completion
+// (accept journaled, no outcome) re-runs on restart and completes.
+func TestRecoveredSingleJobReruns(t *testing.T) {
+	stateDir := t.TempDir()
+
+	// Wedge the journal on the SECOND append (the outcome entry), so the
+	// accept lands but the completion is lost — the post-restart journal
+	// shows an accepted job with no verdict.
+	plan, err := faults.NewPlan(faults.Rule{Point: durable.PointJournal, Mode: faults.ModeError, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(plan)
+	defer faults.Disable()
+
+	_, ts1, stop1 := newDurableServer(t, Config{Workers: 1, StateDir: stateDir})
+	// The job itself succeeds — only its done entry is torn off.
+	evalOK(t, ts1.URL, EvaluateRequest{Bench: "compress"})
+	stop1()
+	faults.Disable()
+
+	s2, ts2, _ := newDurableServer(t, Config{Workers: 1, StateDir: stateDir})
+	var jr JobResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp := getJSON(t, ts2.URL+"/v1/jobs/job-1", &jr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll recovered job: %d", resp.StatusCode)
+		}
+		if jr.Status == StatusDone {
+			break
+		}
+		if jr.Status == StatusFailed || time.Now().After(deadline) {
+			t.Fatalf("recovered job did not complete: %+v", jr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The re-run is free: the result was persisted before the crash.
+	if !jr.CacheHit {
+		t.Fatal("re-run of a persisted job was not a cache hit")
+	}
+	if s2.dur.recoveredJobs.Load() != 1 {
+		t.Fatalf("recovered jobs = %d, want 1", s2.dur.recoveredJobs.Load())
+	}
+}
+
+// TestJournalCompactionOnRestart: finished jobs are dropped from the journal
+// at open, so it does not grow without bound across restarts.
+func TestJournalCompactionOnRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	_, ts1, stop1 := newDurableServer(t, Config{Workers: 1, StateDir: stateDir})
+	for i := 0; i < 3; i++ {
+		evalOK(t, ts1.URL, EvaluateRequest{Bench: "compress", Seed: uint64(i + 1)})
+	}
+	stop1()
+
+	s2, _, _ := newDurableServer(t, Config{Workers: 1, StateDir: stateDir})
+	if n := s2.dur.journal.Entries(); n != 0 {
+		t.Fatalf("journal carries %d entries after a clean restart, want 0", n)
+	}
+}

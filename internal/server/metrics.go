@@ -221,4 +221,9 @@ type MetricsSnapshot struct {
 
 	Caches map[string]CacheStats        `json:"caches"`
 	Stages map[string]HistogramSnapshot `json:"stages"`
+
+	// Durable reports the durability layer (journal entries, disk cache
+	// bytes, recoveries, quarantined entries); omitted when no state dir is
+	// configured.
+	Durable *DurableSnapshot `json:"durable,omitempty"`
 }

@@ -66,6 +66,25 @@ type Config struct {
 	// and stream back during replay. ≤ 0 (the default) keeps traces fully
 	// resident. Results are bit-identical either way.
 	TraceMemBudget int64
+	// StateDir, when set, enables the durability layer (DESIGN.md §13): a
+	// persistent artifact store under this directory backing every cache,
+	// plus a write-ahead job journal. Empty (the default) keeps all state
+	// in memory, exactly as before.
+	StateDir string
+	// JournalPath overrides the job-journal location (default
+	// StateDir/jobs.journal). Ignored when StateDir is empty.
+	JournalPath string
+	// DisableJournal keeps the artifact store but turns the job journal off
+	// (no crash-resume, caches still persist).
+	DisableJournal bool
+	// SweepCheckpoint is how many sweep thresholds one journaled checkpoint
+	// chunk covers (default 4); sweeps longer than one chunk resume from
+	// their last completed chunk after a crash. Negative disables
+	// checkpointing. Ignored without a journal.
+	SweepCheckpoint int
+	// Logf receives durability-layer diagnostics (quarantines, recovery,
+	// persistence failures). Default log.Printf.
+	Logf func(string, ...any)
 	// Limits sandboxes guest execution (recording and profiling runs).
 	// A zero value takes DefaultLimits; set a field to -1 to disable that
 	// limit (the vm treats non-positive limits as unlimited).
@@ -99,6 +118,7 @@ func (c Config) withDefaults() Config {
 	def(&c.AnnoCache, 256)
 	def(&c.ProgramCache, 128)
 	def(&c.MaxJobs, 4096)
+	def(&c.SweepCheckpoint, 4)
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
@@ -130,6 +150,9 @@ type Server struct {
 	annos    *Cache[*annotation]
 	programs *Cache[*program.Program]
 
+	// dur is the durability layer; nil when Config.StateDir is empty.
+	dur *durability
+
 	mux *http.ServeMux
 
 	// draining flips the readiness endpoint to 503. It is set by BeginDrain
@@ -145,10 +168,34 @@ type Server struct {
 	nextID int64
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. It panics if the
+// configured state directory cannot be opened; daemons that want to surface
+// that as an error use Open.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server, opening the durability layer (artifact store + job
+// journal) when Config.StateDir is set and re-enqueuing every journaled job
+// the previous incarnation accepted but did not finish.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var (
+		dur  *durability
+		plan []*recoveredJob
+	)
+	if cfg.StateDir != "" {
+		var err error
+		if dur, plan, err = openDurability(cfg); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
+		dur: dur,
 		cfg:      cfg,
 		metrics:  NewMetrics(),
 		results:  NewCache[*report.Run](cfg.ResultCache),
@@ -182,7 +229,56 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	return s
+	s.recoverJobs(plan)
+	return s, nil
+}
+
+// recoverJobs re-enqueues journaled-but-unfinished jobs from a previous
+// incarnation, preserving their ids (pollers from before the restart keep
+// working) and advancing the id counter past everything the journal ever
+// named so new jobs never collide with old ones.
+func (s *Server) recoverJobs(plan []*recoveredJob) {
+	for _, rj := range plan {
+		s.mu.Lock()
+		if rj.maxSeen > s.nextID {
+			s.nextID = rj.maxSeen
+		}
+		s.mu.Unlock()
+
+		req := rj.req
+		req.Normalize()
+		if err := req.Validate(); err != nil {
+			s.dur.logf("durable: dropping recovered job %s: %v", rj.id, err)
+			s.dur.jobFinished(rj.id)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(s.pool.baseCtx, s.cfg.RequestTimeout)
+		j := &job{
+			id:       rj.id,
+			req:      req,
+			ctx:      ctx,
+			cancel:   cancel,
+			enqueued: time.Now(),
+			done:     make(chan struct{}),
+		}
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.evictJobsLocked()
+		s.mu.Unlock()
+		if err := s.pool.submit(j); err != nil {
+			// Queue full at startup can only mean a tiny queue and a huge
+			// journal; fail the job visibly rather than dropping it silently.
+			j.err = fmt.Errorf("recovered job not re-enqueued: %w", err)
+			cancel()
+			close(j.done)
+			s.metrics.JobsFailed.Add(1)
+			s.dur.jobFinished(j.id)
+			continue
+		}
+		s.dur.recoveredJobs.Add(1)
+		s.dur.logf("durable: re-enqueued job %s after restart", j.id)
+	}
 }
 
 // Handler returns the HTTP handler.
@@ -204,7 +300,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // hard abort.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
-	return s.pool.shutdown(ctx)
+	err := s.pool.shutdown(ctx)
+	// Close the journal only after the drain: in-flight jobs journal their
+	// completions right up to the end, so a clean stop leaves a journal with
+	// no incomplete entries and the next start recovers nothing.
+	s.dur.close()
+	return err
 }
 
 // errorBody is the uniform JSON error envelope.
@@ -278,6 +379,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, name := range stageNames {
 		snap.Stages[name] = s.metrics.Stage(name).Snapshot()
 	}
+	if s.dur != nil {
+		snap.Durable = s.dur.snapshot()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -336,8 +440,18 @@ func (s *Server) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Register through the cache's single-flight: identical concurrent
-	// submissions converge on one stored image.
-	stored, _, err := s.programs.Do(fp, func() (*program.Program, error) { return p, nil })
+	// submissions converge on one stored image. With a state dir the image
+	// also lands on disk, so submitted programs survive a restart.
+	stored, _, err := s.programs.Do(fp, func() (*program.Program, error) {
+		if s.dur != nil {
+			if data, encErr := encodeProgram(p); encErr == nil {
+				if perr := s.dur.store.Put(kindPrograms, fp, data); perr != nil {
+					s.dur.logf("durable: persist program %s: %v", fp, perr)
+				}
+			}
+		}
+		return p, nil
+	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -352,7 +466,7 @@ func (s *Server) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetProgram(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	p, ok := s.programs.Get(id)
+	p, ok := s.programByID(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown program %q", id))
 		return
@@ -417,6 +531,18 @@ func (s *Server) newJob(req EvaluateRequest) (*job, error) {
 	s.order = append(s.order, j.id)
 	s.evictJobsLocked()
 	s.mu.Unlock()
+
+	// Write-ahead: the accept entry must be durable before the submit is
+	// acknowledged, or a crash after the ack would silently drop the job. A
+	// failed append therefore rejects the submit — nothing durable records
+	// it, so the client knows to retry elsewhere.
+	if err := s.dur.appendEntry(journalEntry{Type: "accept", ID: j.id, Req: &j.req}); err != nil {
+		cancel()
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
 
 	if err := s.pool.submit(j); err != nil {
 		s.metrics.JobsRejected.Add(1)
@@ -521,10 +647,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeSubmitError maps submission failures: queue pressure → 503,
-// validation → 400.
+// writeSubmitError maps submission failures: queue pressure and a wedged job
+// journal → 503 (retryable, ideally against another node), validation → 400.
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrJournal) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/isa"
 )
@@ -258,6 +260,99 @@ func (tw *Writer) Count() int64 { return tw.n }
 // Dropped returns how many records were discarded after the first write
 // error.
 func (tw *Writer) Dropped() int64 { return tw.dropped }
+
+// FileWriter is a Writer bound to a file, published atomically: records
+// stream into a temporary file in the destination directory, and Close
+// fsyncs it, renames it over the final path, and fsyncs the directory. A
+// crash at any point leaves either the complete previous file or the
+// complete new one — never a torn trace that a crash-recovery journal (or a
+// later analysis pass) could reference by name and then fail to parse.
+type FileWriter struct {
+	*Writer
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// CreateFile opens an atomic trace writer targeting path. The final file
+// appears only on a successful Close; until then (and after any failure)
+// the destination is untouched.
+func CreateFile(path string, format Format) (*FileWriter, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	// CreateTemp opens 0600; widen to the usual 0644 so the published
+	// trace is readable by other users, as an os.Create'd one would be.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	tw, err := NewWriterFormat(f, format)
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &FileWriter{Writer: tw, f: f, path: path}, nil
+}
+
+// Close flushes buffered records, makes the temp file durable, and renames
+// it into place. Any failure removes the temp file and reports the error;
+// the destination path is never left referencing partial data. Idempotent.
+func (fw *FileWriter) Close() error {
+	if fw.closed {
+		return nil
+	}
+	fw.closed = true
+	fail := func(err error) error {
+		fw.f.Close()
+		os.Remove(fw.f.Name())
+		return err
+	}
+	if err := fw.Writer.Close(); err != nil {
+		return fail(err)
+	}
+	if err := fw.f.Sync(); err != nil {
+		return fail(fmt.Errorf("trace: sync %s: %w", fw.f.Name(), err))
+	}
+	if err := fw.f.Close(); err != nil {
+		os.Remove(fw.f.Name())
+		return fmt.Errorf("trace: close %s: %w", fw.f.Name(), err)
+	}
+	if err := os.Rename(fw.f.Name(), fw.path); err != nil {
+		os.Remove(fw.f.Name())
+		return fmt.Errorf("trace: publish %s: %w", fw.path, err)
+	}
+	return syncDir(filepath.Dir(fw.path))
+}
+
+// Abort discards the temp file without touching the destination.
+func (fw *FileWriter) Abort() {
+	if fw.closed {
+		return
+	}
+	fw.closed = true
+	fw.f.Close()
+	os.Remove(fw.f.Name())
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("trace: sync dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
 
 // Reader streams records from an io.Reader, accepting both trace formats.
 type Reader struct {

@@ -85,4 +85,79 @@ kill -TERM "$FPID"
 wait "$FPID" || { echo "faulted vpserve exited non-zero on SIGTERM:"; cat "$WORK/flog"; exit 1; }
 trap 'rm -rf "$WORK"' EXIT
 
-echo "vpserve smoke OK (incl. fault injection)"
+# --- Durability smoke: SIGKILL a stateful daemon mid-sweep, restart it on
+# the same -state-dir, and the journal-recovered job must finish under its
+# original id with the same result an uninterrupted run produces.
+DPORT=$((PORT + 2))
+DBASE="http://127.0.0.1:$DPORT"
+STATE="$WORK/state"
+SWEEP='{"bench":"compress","classifier":"profile","thresholds":[95,90,80,70,60,50]}'
+
+# Reference result from a stateless daemon (fresh compute, no journal).
+"$WORK/vpserve" -addr "127.0.0.1:$DPORT" >"$WORK/rlog" 2>&1 &
+RPID=$!
+trap 'kill -9 "$RPID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "$DBASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$RPID" 2>/dev/null || { echo "reference vpserve exited early:"; cat "$WORK/rlog"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "reference vpserve never became healthy:"; cat "$WORK/rlog"; exit 1; }
+curl -fsS -X POST -d "$SWEEP" "$DBASE/v1/evaluate" | jq -S .result > "$WORK/reference.json"
+kill -TERM "$RPID"; wait "$RPID" 2>/dev/null || true
+
+# Stateful daemon: accept journaled before ack, one-threshold checkpoints.
+"$WORK/vpserve" -addr "127.0.0.1:$DPORT" -state-dir "$STATE" -sweep-checkpoint 1 \
+    >"$WORK/dlog" 2>&1 &
+DPID=$!
+trap 'kill -9 "$DPID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "$DBASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$DPID" 2>/dev/null || { echo "durable vpserve exited early:"; cat "$WORK/dlog"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "durable vpserve never became healthy:"; cat "$WORK/dlog"; exit 1; }
+
+# Async submit, then SIGKILL immediately: the accept is already on disk.
+JID=$(curl -fsS -X POST -d "$SWEEP" "$DBASE/v1/jobs" | jq -r .id)
+[ -n "$JID" ] && [ "$JID" != null ] || { echo "async submit returned no job id"; exit 1; }
+kill -9 "$DPID"; wait "$DPID" 2>/dev/null || true
+
+# Restart on the same state dir: the job must come back under the same id.
+"$WORK/vpserve" -addr "127.0.0.1:$DPORT" -state-dir "$STATE" -sweep-checkpoint 1 \
+    >"$WORK/dlog2" 2>&1 &
+DPID=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "$DBASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$DPID" 2>/dev/null || { echo "restarted vpserve exited early:"; cat "$WORK/dlog2"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "restarted vpserve never became healthy:"; cat "$WORK/dlog2"; exit 1; }
+
+status=""
+for _ in $(seq 1 150); do
+    status=$(curl -fsS "$DBASE/v1/jobs/$JID" | jq -r .status)
+    case "$status" in done|failed) break ;; esac
+    sleep 0.2
+done
+[ "$status" = done ] || {
+    echo "recovered job $JID ended '$status':"
+    curl -fsS "$DBASE/v1/jobs/$JID"; cat "$WORK/dlog2"; exit 1
+}
+
+curl -fsS "$DBASE/v1/jobs/$JID" | jq -S .result > "$WORK/recovered.json"
+diff "$WORK/reference.json" "$WORK/recovered.json" \
+    || { echo "recovered result differs from uninterrupted run"; exit 1; }
+
+curl -fsS "$DBASE/metrics" -o "$WORK/dmetrics"
+[ "$(jq -r .durable.recovered_jobs "$WORK/dmetrics")" -ge 1 ] \
+    || { echo "no recovered_jobs in metrics:"; cat "$WORK/dmetrics"; exit 1; }
+
+kill -TERM "$DPID"
+wait "$DPID" || { echo "durable vpserve exited non-zero on SIGTERM:"; cat "$WORK/dlog2"; exit 1; }
+trap 'rm -rf "$WORK"' EXIT
+
+echo "vpserve smoke OK (incl. fault injection + kill-restart-resume)"
