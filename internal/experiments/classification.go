@@ -33,17 +33,33 @@ func (p *profileShadow) Consume(r *trace.Record) {
 	if !r.HasDest {
 		return
 	}
+	p.observe(r.Addr, r.Dir, r.Value)
+}
+
+// ConsumeBatch implements trace.BatchConsumer: the column form of Consume,
+// skipping valueless records with one flag test per record.
+func (p *profileShadow) ConsumeBatch(b *trace.Batch) {
+	flags, addrs, dirs, vals := b.Flags, b.Addr, b.Dir, b.Value
+	for i, f := range flags {
+		if f&trace.FlagHasDest == 0 {
+			continue
+		}
+		p.observe(addrs[i], dirs[i], vals[i])
+	}
+}
+
+func (p *profileShadow) observe(addr int64, dir isa.Directive, value isa.Word) {
 	p.stats.ValueInstructions++
-	entry := p.table.Lookup(r.Addr)
+	entry := p.table.Lookup(addr)
 	if entry == nil {
-		p.table.Allocate(r.Addr, r.Value)
+		p.table.Allocate(addr, value)
 		p.stats.Misses++
 		return
 	}
 	pred, _ := entry.Predict(predictor.Stride)
-	correct := pred == r.Value
-	used := r.Dir != isa.DirNone
-	entry.Train(r.Value)
+	correct := pred == value
+	used := dir != isa.DirNone
+	entry.Train(value)
 	switch {
 	case used && correct:
 		p.stats.UsedCorrect++

@@ -60,6 +60,14 @@ type Context struct {
 	// resident. Replay results are bit-identical either way — the budget
 	// trades replay bandwidth for memory, never accuracy.
 	TraceMemBudget int64
+	// ScalarReplay forces every replay of the recorded evaluation traces
+	// onto the scalar per-record Consumer path instead of the default
+	// batch column kernels. Results are bit-identical either way (the
+	// batch kernels are differentially tested against the scalar
+	// reference); the switch exists as a debugging escape hatch and for
+	// the equivalence assertions themselves. Exposed as vpreport
+	// -scalar-replay.
+	ScalarReplay bool
 
 	mu         sync.Mutex
 	trainCache map[string]*cell[[]*profiler.Image]
@@ -155,6 +163,7 @@ func (c *Context) EvalTrace(bench string) (*trace.Recorder, error) {
 	return memoize(&c.mu, c.traceCache, bench, func() (*trace.Recorder, error) {
 		rec := trace.NewRecorder()
 		rec.SetMemBudget(c.TraceMemBudget)
+		rec.SetScalarReplay(c.ScalarReplay)
 		if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), rec); err != nil {
 			return nil, fmt.Errorf("experiments: record %s evaluation trace: %w", bench, err)
 		}

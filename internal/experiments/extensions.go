@@ -243,6 +243,29 @@ type ExtFCMRow struct {
 	FCMOnly float64
 }
 
+// fcmObserver trains an FCM predictor on every produced value; it
+// implements both consumer contracts so the evaluation replay runs it as a
+// column kernel.
+type fcmObserver struct{ fcm *predictor.FCM }
+
+// Consume implements trace.Consumer.
+func (o fcmObserver) Consume(r *trace.Record) {
+	if r.HasDest {
+		o.fcm.Observe(r.Addr, r.Value)
+	}
+}
+
+// ConsumeBatch implements trace.BatchConsumer.
+func (o fcmObserver) ConsumeBatch(b *trace.Batch) {
+	flags, addrs, vals := b.Flags, b.Addr, b.Value
+	for i, f := range flags {
+		if f&trace.FlagHasDest == 0 {
+			continue
+		}
+		o.fcm.Observe(addrs[i], vals[i])
+	}
+}
+
 // RunExtFCM regenerates the FCM extension table.
 func RunExtFCM(c *Context) (*ExtFCM, error) {
 	out := &ExtFCM{}
@@ -253,12 +276,7 @@ func RunExtFCM(c *Context) (*ExtFCM, error) {
 		if err != nil {
 			return err
 		}
-		consumer := trace.ConsumerFunc(func(r *trace.Record) {
-			if r.HasDest {
-				fcm.Observe(r.Addr, r.Value)
-			}
-		})
-		if err := c.RunEvalPlain(bench, consumer); err != nil {
+		if err := c.RunEvalPlain(bench, fcmObserver{fcm}); err != nil {
 			return err
 		}
 		col, err := c.EvalCollector(bench)

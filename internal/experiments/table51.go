@@ -27,6 +27,40 @@ type Table51 struct {
 	PerBench map[string][]float64
 }
 
+// candidateCounter tallies value-producing instructions and those carrying
+// a directive (the classifier's admitted candidates) for one threshold of
+// the Table 5.1 sweep. It implements both consumer contracts so the
+// single-pass MultiEval sweep runs it as a column kernel.
+type candidateCounter struct{ candidates, valueInsts int64 }
+
+// Consume implements trace.Consumer.
+func (ct *candidateCounter) Consume(r *trace.Record) {
+	if !r.HasDest {
+		return
+	}
+	ct.valueInsts++
+	if r.Dir != isa.DirNone {
+		ct.candidates++
+	}
+}
+
+// ConsumeBatch implements trace.BatchConsumer.
+func (ct *candidateCounter) ConsumeBatch(b *trace.Batch) {
+	flags, dirs := b.Flags, b.Dir
+	var vi, cand int64
+	for i, f := range flags {
+		if f&trace.FlagHasDest == 0 {
+			continue
+		}
+		vi++
+		if dirs[i] != isa.DirNone {
+			cand++
+		}
+	}
+	ct.valueInsts += vi
+	ct.candidates += cand
+}
+
 // RunTable51 regenerates Table 5.1.
 func RunTable51(c *Context) (*Table51, error) {
 	out := &Table51{
@@ -41,20 +75,10 @@ func RunTable51(c *Context) (*Table51, error) {
 	perBench := make([][]float64, len(benches))
 	perStatic := make([][]float64, len(benches))
 	err := c.forEachBench(benches, func(bi int, bench string) error {
-		type counter struct{ candidates, valueInsts int64 }
-		counts := make([]counter, len(c.Thresholds))
+		counts := make([]candidateCounter, len(c.Thresholds))
 		cfgs := make([]SweepConfig, len(c.Thresholds))
 		for i, th := range c.Thresholds {
-			ct := &counts[i]
-			cfgs[i] = Sweep(th, trace.ConsumerFunc(func(r *trace.Record) {
-				if !r.HasDest {
-					return
-				}
-				ct.valueInsts++
-				if r.Dir != isa.DirNone {
-					ct.candidates++
-				}
-			}))
+			cfgs[i] = Sweep(th, &counts[i])
 		}
 		if _, err := c.RunEvalSweep(bench, cfgs...); err != nil {
 			return err

@@ -189,6 +189,27 @@ func (c *Collector) Consume(r *trace.Record) {
 	s.observe(r.Value, r.Phase)
 }
 
+// ConsumeBatch implements trace.BatchConsumer: the column form of Consume,
+// one tight loop over the flags/addr/value/phase columns with no per-record
+// dispatch or Record materialization. Bit-identical to the scalar path
+// (TestBatchKernelsMatchScalar in internal/experiments).
+func (c *Collector) ConsumeBatch(b *trace.Batch) {
+	flags, addrs, vals, phases, ops := b.Flags, b.Addr, b.Value, b.Phase, b.Op
+	for i, f := range flags {
+		if f&trace.FlagHasDest == 0 {
+			continue
+		}
+		addr := addrs[i]
+		s := c.set.slot(addr)
+		if s.Executions == 0 {
+			info := isa.Opcode(ops[i]).Info()
+			s.Addr, s.FP, s.Load = addr, info.IsFP, info.IsLoad
+			c.set.count++
+		}
+		s.observe(vals[i], int(phases[i]))
+	}
+}
+
 // observe feeds one produced value into the per-instruction predictor
 // emulation; shared by the register and store-value collectors.
 func (s *InstStat) observe(value isa.Word, phase int) {

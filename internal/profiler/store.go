@@ -1,6 +1,9 @@
 package profiler
 
-import "repro/internal/trace"
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
 
 // StoreCollector profiles the predictability of *stored* values, the
 // extension the paper's Section 2.1 sketches: "these schemes could be
@@ -31,6 +34,29 @@ func (c *StoreCollector) Consume(r *trace.Record) {
 		c.set.count++
 	}
 	s.observe(r.Value, r.Phase)
+}
+
+// ConsumeBatch implements trace.BatchConsumer: the column form of Consume.
+// The memory-access flag is tested before the opcode-info lookup so
+// non-memory records cost one byte compare each.
+func (c *StoreCollector) ConsumeBatch(b *trace.Batch) {
+	flags, addrs, vals, phases, ops := b.Flags, b.Addr, b.Value, b.Phase, b.Op
+	for i, f := range flags {
+		if f&trace.FlagHasMem == 0 {
+			continue
+		}
+		info := isa.Opcode(ops[i]).Info()
+		if !info.IsStore {
+			continue
+		}
+		addr := addrs[i]
+		s := c.set.slot(addr)
+		if s.Executions == 0 {
+			s.Addr, s.FP = addr, info.IsFP
+			c.set.count++
+		}
+		s.observe(vals[i], int(phases[i]))
+	}
 }
 
 // Stat returns the profile of the store at addr, or nil.

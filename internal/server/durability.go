@@ -368,7 +368,7 @@ func durableDo[V any](s *Server, c *Cache[V], kind, key string,
 
 // ---- per-kind codecs ----
 
-func encodeRun(r *report.Run) ([]byte, error)  { return json.Marshal(r) }
+func encodeRun(r *report.Run) ([]byte, error) { return json.Marshal(r) }
 func decodeRun(b []byte) (*report.Run, error) {
 	r := new(report.Run)
 	if err := json.Unmarshal(b, r); err != nil {
@@ -462,6 +462,7 @@ func (s *Server) decodeTrace(b []byte) (*trace.Recorder, error) {
 	}
 	rec := trace.NewRecorder()
 	rec.SetMemBudget(s.cfg.TraceMemBudget)
+	rec.SetScalarReplay(s.cfg.ScalarReplay)
 	var r trace.Record
 	for {
 		if err := tr.Next(&r); err != nil {

@@ -615,6 +615,7 @@ func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, 
 		}
 		rec := trace.NewRecorder()
 		rec.SetMemBudget(s.cfg.TraceMemBudget)
+		rec.SetScalarReplay(s.cfg.ScalarReplay)
 		if _, err := workload.RunConfig(p, s.vmConfig(), rec); err != nil {
 			return nil, err
 		}

@@ -256,9 +256,9 @@ func TestSubmitProgramAndEvaluate(t *testing.T) {
 func TestValidationErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	cases := []EvaluateRequest{
-		{},                                // neither bench nor program
-		{Bench: "nonesuch"},               // unknown bench
-		{Bench: "compress", Predictor: "oracle"},  // bad predictor
+		{},                                       // neither bench nor program
+		{Bench: "nonesuch"},                      // unknown bench
+		{Bench: "compress", Predictor: "oracle"}, // bad predictor
 		{Bench: "compress", Classifier: "voodoo"}, // bad classifier
 		{Bench: "compress", Threshold: 150},       // threshold out of range
 		{Program: "deadbeef"},                     // unknown program id (rejected at run time)

@@ -46,9 +46,13 @@ const chunkColumns = 5
 
 // chunkEncoder encodes record slices into the packed columnar form. The
 // per-column scratch buffers are reused across chunks, so a long recording
-// allocates only the retained chunk encodings.
+// allocates only the retained chunk encodings. buf is the encode output
+// scratch the Recorder assembles chunks in before copying out exactly the
+// retained bytes (or spilling with no copy at all); together with the
+// column buffers it makes a pooled encoder allocation-free in steady state.
 type chunkEncoder struct {
 	addr, value, mem, phase, seq []byte
+	buf                          []byte
 }
 
 // zigzag/zagzig mirror encoding/binary's varint transform for signed ints.
@@ -343,6 +347,241 @@ func (d *chunkDecoder) decodeAll(out []Record) error {
 	return nil
 }
 
+// decodeVarintCol decodes one zigzag varint column into out, accumulating
+// deltas when delta is set. This is the batch replay path's hot loop.
+//
+// Varint decode is normally a serial chain — each element's offset depends
+// on the previous element's width — which caps a branchy byte-at-a-time
+// loop at several cycles per element no matter how it is unrolled. But the
+// recorded columns are very regular: addr/phase/seq deltas are almost
+// always single-byte varints and mem deltas two-byte, so the column length
+// alone often reveals a uniform layout where element i lives at a fixed
+// offset and the chain disappears. The uniform decoders validate as they
+// go (a stray continuation bit falls back to the generic loop), so a
+// malformed or merely irregular column decodes identically, just slower.
+func decodeVarintCol(col []byte, out []int64, delta bool) error {
+	switch {
+	case len(col) == len(out):
+		if decodeColUniform1(col, out, delta) {
+			return nil
+		}
+	case len(col) == 2*len(out):
+		if decodeColUniform2(col, out, delta) {
+			return nil
+		}
+	}
+	return decodeColGeneric(col, out, delta)
+}
+
+// decodeColUniform1 decodes a column of len(out) bytes assuming every
+// varint is exactly one byte. n varints cannot fit n bytes any other way,
+// but a corrupt column could still carry continuation bits, so validity is
+// OR-accumulated and checked once; false means fall back to the generic
+// decoder.
+func decodeColUniform1(col []byte, out []int64, delta bool) bool {
+	var bad byte
+	if delta {
+		var acc int64
+		for i, c := range col {
+			bad |= c
+			acc += int64(c>>1) ^ -int64(c&1)
+			out[i] = acc
+		}
+	} else {
+		for i, c := range col {
+			bad |= c
+			out[i] = int64(c>>1) ^ -int64(c&1)
+		}
+	}
+	return bad < 0x80
+}
+
+// decodeColUniform2 speculatively decodes a column of 2*len(out) bytes as
+// uniform two-byte varints (continuation byte then terminal byte). A
+// one-byte/three-byte mix can also sum to 2n, so the layout is validated
+// element-wise and OR-accumulated; false means out holds garbage and the
+// caller must redo the column generically.
+func decodeColUniform2(col []byte, out []int64, delta bool) bool {
+	var bad byte
+	if delta {
+		var acc int64
+		for i := range out {
+			b0, b1 := col[2*i], col[2*i+1]
+			bad |= ^b0 & 0x80
+			bad |= b1 & 0x80
+			u := uint64(b0&0x7f) | uint64(b1)<<7
+			acc += int64(u>>1) ^ -int64(u&1)
+			out[i] = acc
+		}
+	} else {
+		for i := range out {
+			b0, b1 := col[2*i], col[2*i+1]
+			bad |= ^b0 & 0x80
+			bad |= b1 & 0x80
+			u := uint64(b0&0x7f) | uint64(b1)<<7
+			out[i] = int64(u>>1) ^ -int64(u&1)
+		}
+	}
+	return bad == 0
+}
+
+// decodeColGeneric is the irregular-width decoder (in practice the value
+// column, whose magnitudes vary record to record, and mem columns that are
+// two bytes per delta with occasional exceptions).
+func decodeColGeneric(col []byte, out []int64, delta bool) error {
+	_, _, err := decodeGenericRun(col, 0, 0, out, delta)
+	return err
+}
+
+// decodeGenericRun decodes the next len(out) varints of col starting at
+// byte cursor ci with delta accumulator acc, returning the advanced cursor
+// and accumulator so a streaming caller can continue where it left off.
+// While at least ten bytes remain (the longest possible varint) it decodes
+// from a reslice whose first four indices are provably in bounds, so
+// one-to-four-byte widths run without bounds checks or calls into
+// binary.Uvarint; the bounds-checked tail loop handles the last few bytes
+// of the column.
+func decodeGenericRun(col []byte, ci int, acc int64, out []int64, delta bool) (int, int64, error) {
+	for i := range out {
+		var u uint64
+		if rest := col[ci:]; len(rest) >= 10 {
+			x := uint64(binary.LittleEndian.Uint32(rest))
+			if x&0x80 == 0 {
+				u = x & 0x7f
+				ci++
+			} else if x&0x8000 == 0 {
+				u = x&0x7f | x>>8&0x7f<<7
+				ci += 2
+			} else if x&0x800000 == 0 {
+				u = x&0x7f | x>>8&0x7f<<7 | x>>16&0x7f<<14
+				ci += 3
+			} else if x&0x80000000 == 0 {
+				u = x&0x7f | x>>8&0x7f<<7 | x>>16&0x7f<<14 | x>>24&0x7f<<21
+				ci += 4
+			} else {
+				u = x&0x7f | x>>8&0x7f<<7 | x>>16&0x7f<<14 | x>>24&0x7f<<21
+				// Continuation bytes land at rest[4..9]; the shift guard
+				// trips before a well-formed check would read rest[10].
+				k, shift := 4, 28
+				for {
+					c := rest[k]
+					k++
+					u |= uint64(c&0x7f) << shift
+					if c < 0x80 {
+						break
+					}
+					shift += 7
+					if shift >= 70 {
+						return ci, acc, fmt.Errorf("trace: chunk varint column overflow at byte %d", ci+k)
+					}
+				}
+				ci += k
+			}
+		} else {
+			// Bounds-checked tail: the last few varints of the column.
+			shift := 0
+			for {
+				if ci >= len(col) {
+					return ci, acc, fmt.Errorf("trace: chunk varint column truncated at byte %d", ci)
+				}
+				c := col[ci]
+				ci++
+				u |= uint64(c&0x7f) << shift
+				if c < 0x80 {
+					break
+				}
+				shift += 7
+				if shift >= 70 {
+					return ci, acc, fmt.Errorf("trace: chunk varint column overflow at byte %d", ci)
+				}
+			}
+		}
+		v := int64(u>>1) ^ -int64(u&1)
+		if delta {
+			acc += v
+			v = acc
+		}
+		out[i] = v
+	}
+	return ci, acc, nil
+}
+
+// decodeBatch decodes the initialized chunk into b as columns rather than
+// records: the fixed byte columns are exposed as direct sub-slices of the
+// encoded data (zero decode cost — this is where the batch path's win over
+// record materialization comes from), the varint columns are decoded into
+// batch-owned int64 slices, and the packed directive bits are widened into
+// their own column so consumers and directive patches index it directly.
+func (d *chunkDecoder) decodeBatch(b *Batch) error {
+	b.grow(d.n)
+	b.N = d.n
+	b.FirstSeq = d.firstSeq
+	b.Op, b.Flags, b.Dest, b.Reads = d.ops, d.flags, d.dest, d.reads
+	dir := b.Dir
+	for i, f := range d.flags {
+		dir[i] = isa.Directive(f >> 4)
+	}
+	if err := decodeVarintCol(d.addr, b.Addr, true); err != nil {
+		return err
+	}
+	if err := decodeVarintCol(d.value, b.Value, false); err != nil {
+		return err
+	}
+	if err := decodeVarintCol(d.mem, b.MemAddr, true); err != nil {
+		return err
+	}
+	if err := decodeVarintCol(d.phase, b.Phase, true); err != nil {
+		return err
+	}
+	seq := b.Seq
+	switch {
+	case !d.withSeq:
+		for i := range seq {
+			seq[i] = d.firstSeq + int64(i)
+		}
+	case len(d.seq) == len(seq):
+		// The overwhelmingly common case: every seq delta is one byte
+		// (a single-stream recording has them all zero), decoded fused
+		// with the positional add rather than in two passes.
+		var bad byte
+		for i, c := range d.seq {
+			bad |= c
+			seq[i] = (int64(c>>1) ^ -int64(c&1)) + d.firstSeq + int64(i)
+		}
+		if bad >= 0x80 {
+			return d.decodeSeqSlow(seq)
+		}
+	default:
+		return d.decodeSeqSlow(seq)
+	}
+	return nil
+}
+
+// decodeSeqSlow decodes an irregular seq column (a re-recorded or
+// hand-built stream whose sequence numbers stray far from position).
+func (d *chunkDecoder) decodeSeqSlow(seq []int64) error {
+	if err := decodeVarintCol(d.seq, seq, false); err != nil {
+		return err
+	}
+	for i := range seq {
+		seq[i] += d.firstSeq + int64(i)
+	}
+	return nil
+}
+
+// mustDecodeBatch decodes a chunk the Recorder encoded itself into b;
+// failure would mean memory or spill-file corruption.
+func mustDecodeBatch(b *Batch, data []byte, firstSeq int64) {
+	var d chunkDecoder
+	err := d.init(data, firstSeq, true, false)
+	if err == nil {
+		err = d.decodeBatch(b)
+	}
+	if err != nil {
+		panic("trace: corrupt recorded chunk: " + err.Error())
+	}
+}
+
 // decodeChunk decodes an entire encoded chunk into out, returning the record
 // count. out must have room for the chunk's records.
 func decodeChunk(out []Record, data []byte, firstSeq int64, withSeq, strict bool) (int, error) {
@@ -357,4 +596,201 @@ func decodeChunk(out []Record, data []byte, firstSeq int64, withSeq, strict bool
 		return 0, err
 	}
 	return d.n, nil
+}
+
+// The streaming batch decoder. A full 16K-record chunk decodes into
+// ~640 KiB of int64 columns — far past L1/L2 — so when decode and consume
+// share one core (the inline walk path), full-chunk decode streams every
+// column through outer cache twice: once written by the decoder, once read
+// back cold by the consumer. streamBatch instead decodes and delivers the
+// chunk in batchBlock-record sub-batches whose columns stay cache-resident
+// between the decode loop and the consumer's kernel. The multi-core lane
+// walk keeps whole-chunk batches: there the decode runs on other cores and
+// pipelining already hides it.
+const batchBlock = 2048
+
+// Column layout kinds for the streaming decoder, established by one cheap
+// prescan per column (unlike the full-column decoders, which speculate and
+// redo on a miss — impossible mid-stream, since earlier sub-batches have
+// already been delivered).
+const (
+	colGen uint8 = iota // irregular widths: serial cursor decode
+	colU1               // every varint one byte: element i at col[i]
+	colU2               // every varint two bytes: element i at col[2i]
+)
+
+func classifyCol(col []byte, n int) uint8 {
+	switch {
+	case len(col) == n && colAll1(col):
+		return colU1
+	case len(col) == 2*n && colAll2(col):
+		return colU2
+	}
+	return colGen
+}
+
+// colAll1 reports whether no byte of col has its continuation bit set,
+// eight bytes per test.
+func colAll1(col []byte) bool {
+	i := 0
+	for ; i+8 <= len(col); i += 8 {
+		if binary.LittleEndian.Uint64(col[i:])&0x8080808080808080 != 0 {
+			return false
+		}
+	}
+	var bad byte
+	for ; i < len(col); i++ {
+		bad |= col[i]
+	}
+	return bad < 0x80
+}
+
+// colAll2 reports whether col (of even length) is strictly alternating
+// continuation/terminal bytes — uniform two-byte varints.
+func colAll2(col []byte) bool {
+	i := 0
+	for ; i+8 <= len(col); i += 8 {
+		if binary.LittleEndian.Uint64(col[i:])&0x8080808080808080 != 0x0080008000800080 {
+			return false
+		}
+	}
+	for ; i+1 < len(col); i += 2 {
+		if col[i] < 0x80 || col[i+1] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// colCursor decodes one varint column incrementally, sub-batch by
+// sub-batch. Uniform columns index directly off the element number; the
+// generic kind continues a serial decode from the saved byte cursor.
+type colCursor struct {
+	col   []byte
+	kind  uint8
+	delta bool
+	pos   int   // byte cursor (colGen)
+	acc   int64 // delta accumulator
+}
+
+// decode fills out with the elements [start, start+len(out)) of the column.
+func (c *colCursor) decode(out []int64, start int) error {
+	switch c.kind {
+	case colU1:
+		seg := c.col[start : start+len(out)]
+		if c.delta {
+			acc := c.acc
+			for i, cb := range seg {
+				acc += int64(cb>>1) ^ -int64(cb&1)
+				out[i] = acc
+			}
+			c.acc = acc
+		} else {
+			for i, cb := range seg {
+				out[i] = int64(cb>>1) ^ -int64(cb&1)
+			}
+		}
+	case colU2:
+		seg := c.col[2*start : 2*(start+len(out))]
+		if c.delta {
+			acc := c.acc
+			for i := range out {
+				u := uint64(seg[2*i]&0x7f) | uint64(seg[2*i+1])<<7
+				acc += int64(u>>1) ^ -int64(u&1)
+				out[i] = acc
+			}
+			c.acc = acc
+		} else {
+			for i := range out {
+				u := uint64(seg[2*i]&0x7f) | uint64(seg[2*i+1])<<7
+				out[i] = int64(u>>1) ^ -int64(u&1)
+			}
+		}
+	default:
+		var err error
+		c.pos, c.acc, err = decodeGenericRun(c.col, c.pos, c.acc, out, c.delta)
+		return err
+	}
+	return nil
+}
+
+// streamBatch decodes the initialized chunk into b one batchBlock-record
+// sub-batch at a time, invoking fn for each. The sub-batches reuse b's
+// columns, so each is valid only until fn returns — the same contract as a
+// full-chunk batch.
+func (d *chunkDecoder) streamBatch(b *Batch, fn func(*Batch)) error {
+	n := d.n
+	addr := colCursor{col: d.addr, kind: classifyCol(d.addr, n), delta: true}
+	value := colCursor{col: d.value, kind: classifyCol(d.value, n)}
+	mem := colCursor{col: d.mem, kind: classifyCol(d.mem, n), delta: true}
+	phase := colCursor{col: d.phase, kind: classifyCol(d.phase, n), delta: true}
+	var seqCur colCursor
+	if d.withSeq {
+		seqCur = colCursor{col: d.seq, kind: classifyCol(d.seq, n)}
+	}
+	for start := 0; start < n; start += batchBlock {
+		k := n - start
+		if k > batchBlock {
+			k = batchBlock
+		}
+		b.grow(k)
+		b.N = k
+		b.FirstSeq = d.firstSeq + int64(start)
+		b.Op = d.ops[start : start+k]
+		b.Flags = d.flags[start : start+k]
+		b.Dest = d.dest[start : start+k]
+		b.Reads = d.reads[2*start : 2*(start+k)]
+		dir := b.Dir
+		for i, f := range b.Flags {
+			dir[i] = isa.Directive(f >> 4)
+		}
+		if err := addr.decode(b.Addr, start); err != nil {
+			return err
+		}
+		if err := value.decode(b.Value, start); err != nil {
+			return err
+		}
+		if err := mem.decode(b.MemAddr, start); err != nil {
+			return err
+		}
+		if err := phase.decode(b.Phase, start); err != nil {
+			return err
+		}
+		seq := b.Seq
+		base := b.FirstSeq
+		switch {
+		case !d.withSeq:
+			for i := range seq {
+				seq[i] = base + int64(i)
+			}
+		case seqCur.kind == colU1:
+			// One-byte seq deltas decode fused with the positional add.
+			seg := d.seq[start : start+k]
+			for i, c := range seg {
+				seq[i] = (int64(c>>1) ^ -int64(c&1)) + base + int64(i)
+			}
+		default:
+			if err := seqCur.decode(seq, start); err != nil {
+				return err
+			}
+			for i := range seq {
+				seq[i] += base + int64(i)
+			}
+		}
+		fn(b)
+	}
+	return nil
+}
+
+// mustStreamBatch stream-decodes a chunk the Recorder encoded itself;
+// failure would mean memory or spill-file corruption.
+func mustStreamBatch(b *Batch, data []byte, firstSeq int64, fn func(*Batch)) {
+	var d chunkDecoder
+	err := d.init(data, firstSeq, true, false)
+	if err == nil {
+		err = d.streamBatch(b, fn)
+	}
+	if err != nil {
+		panic("trace: corrupt recorded chunk: " + err.Error())
+	}
 }

@@ -52,31 +52,90 @@ func (rc *Recorder) MultiEval(cfgs ...EvalConfig) int64 {
 		return 0
 	}
 	rc.passes.Add(1)
-	var scratch Record
-	eval := func(chunk []Record) {
-		for _, cfg := range cfgs {
-			if cfg.Dirs == nil {
-				c := cfg.Consumer
-				for i := range chunk {
-					c.Consume(&chunk[i])
-				}
-				continue
-			}
-			dirs, c := cfg.Dirs, cfg.Consumer
-			for i := range chunk {
-				scratch = chunk[i]
-				if a := scratch.Addr; a >= 0 && a < int64(len(dirs)) {
-					scratch.Dir = dirs[a]
-				} else {
-					scratch.Dir = isa.DirNone
-				}
-				c.Consume(&scratch)
-			}
+	nbatch := 0
+	for _, cfg := range cfgs {
+		if _, ok := cfg.Consumer.(BatchConsumer); ok {
+			nbatch++
 		}
 	}
-	rc.walkSlabs(eval)
+	if nbatch > 0 && !rc.scalarReplay {
+		rc.multiEvalBatch(cfgs, nbatch < len(cfgs))
+	} else {
+		var scratch Record
+		rc.walkSlabs(func(chunk []Record) { evalRecords(cfgs, chunk, &scratch) })
+	}
 	if len(rc.staged) > 0 {
-		eval(rc.staged)
+		var scratch Record
+		evalRecords(cfgs, rc.staged, &scratch)
 	}
 	return int64(len(cfgs) - 1)
+}
+
+// evalRecords runs one decoded chunk through every configuration's scalar
+// per-consumer loop — the reference evaluation kernel, also used for the
+// staging tail of an unsealed Recorder on the batch path.
+func evalRecords(cfgs []EvalConfig, chunk []Record, scratch *Record) {
+	for _, cfg := range cfgs {
+		if cfg.Dirs == nil {
+			c := cfg.Consumer
+			for i := range chunk {
+				c.Consume(&chunk[i])
+			}
+			continue
+		}
+		dirs, c := cfg.Dirs, cfg.Consumer
+		for i := range chunk {
+			*scratch = chunk[i]
+			if a := scratch.Addr; a >= 0 && a < int64(len(dirs)) {
+				scratch.Dir = dirs[a]
+			} else {
+				scratch.Dir = isa.DirNone
+			}
+			c.Consume(scratch)
+		}
+	}
+}
+
+// multiEvalBatch is the column-batch MultiEval walk: each chunk is decoded
+// once into a Batch, every batch-capable configuration runs its kernel over
+// the columns (directive-carrying configurations see a per-call patched Dir
+// column; the recorded Dir column is restored afterwards), and — only when
+// the configuration set is mixed — the batch is materialized once per chunk
+// into a pooled Record slab for the scalar consumers, which then run the
+// exact reference loop. Both consumer kinds still observe bit-identical
+// streams in a single pass over the encoded trace.
+func (rc *Recorder) multiEvalBatch(cfgs []EvalConfig, mixed bool) {
+	var slab *recSlab
+	if mixed {
+		slab = getSlab()
+		defer putSlab(slab)
+	}
+	var dirScratch []isa.Directive
+	var scratch Record
+	rc.walkBatches(func(b *Batch) {
+		recorded := b.Dir
+		var recs []Record
+		if mixed {
+			recs = b.Records(slab.recs)
+		}
+		for j := range cfgs {
+			cfg := &cfgs[j]
+			if bc, ok := cfg.Consumer.(BatchConsumer); ok {
+				if cfg.Dirs == nil {
+					b.Dir = recorded
+				} else {
+					if cap(dirScratch) < b.N {
+						dirScratch = make([]isa.Directive, b.N)
+					}
+					dirScratch = dirScratch[:b.N]
+					patchDirs(dirScratch, b.Addr, cfg.Dirs)
+					b.Dir = dirScratch
+				}
+				bc.ConsumeBatch(b)
+				continue
+			}
+			evalRecords(cfgs[j:j+1], recs, &scratch)
+		}
+		b.Dir = recorded
+	})
 }

@@ -59,19 +59,22 @@ type rchunk struct {
 // internal/experiments drive every replay path from many goroutines to
 // catch any consumer that violates it.
 type Recorder struct {
-	staged []Record // current partially filled chunk, plain AoS
-	enc    chunkEncoder
-	chunks []rchunk
-	n      int64
+	staged     []Record // current partially filled chunk, plain AoS
+	stagedSlab *recSlab // pooled backing storage of staged; returned at Seal
+	enc        *chunkEncoder
+	chunks     []rchunk
+	n          int64
 
 	memBudget     int64 // resident encoded-bytes budget; <=0 = fully resident
 	residentBytes int64 // encoded bytes currently held in memory
 	encodedBytes  int64 // encoded bytes total (resident + spilled)
+	maxChunkBytes int64 // largest encoded chunk, the unit of spill readback
 	spilledChunks int64
 	spill         *spillFile
 
-	sealed bool
-	passes atomic.Int64 // full replay passes over the buffer, for amortization accounting
+	scalarReplay bool // force the per-record Consumer path (reference implementation)
+	sealed       bool
+	passes       atomic.Int64 // full replay passes over the buffer, for amortization accounting
 }
 
 // NewRecorder returns an empty trace recorder.
@@ -84,6 +87,14 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // encoded after the call, so set it before recording; the ~0.9 MiB staging
 // buffer for the chunk being filled is not counted against it.
 func (rc *Recorder) SetMemBudget(bytes int64) { rc.memBudget = bytes }
+
+// SetScalarReplay forces every replay pass onto the scalar per-record
+// Consumer path even for consumers that implement BatchConsumer. The batch
+// column kernels are the default; the scalar loop is the reference
+// implementation the batch path is differentially tested against, and this
+// switch is the escape hatch the -scalar-replay flags of vpreport and
+// vpserve expose. Set it before the Recorder is shared; replays only read it.
+func (rc *Recorder) SetScalarReplay(scalar bool) { rc.scalarReplay = scalar }
 
 // Passes reports how many full replay passes have walked the recorded
 // buffer (Replay, ReplayDirs and MultiEval each count one, however many
@@ -109,6 +120,20 @@ func (rc *Recorder) EncodedBytes() int64 { return rc.encodedBytes }
 // BytesResident returns the encoded bytes currently held in memory.
 func (rc *Recorder) BytesResident() int64 { return rc.residentBytes }
 
+// ReplayResidentBytes returns the peak in-memory working set of one replay
+// pass over the flushed chunks: the resident encoded bytes plus, when any
+// chunk has spilled, two chunk-sized read buffers (readback is double
+// buffered — one chunk decoding while the next is fetched). This is the
+// honest per-pass memory figure for a spilled trace, where BytesResident
+// alone would report a misleading zero.
+func (rc *Recorder) ReplayResidentBytes() int64 {
+	b := rc.residentBytes
+	if rc.spilledChunks > 0 {
+		b += 2 * rc.maxChunkBytes
+	}
+	return b
+}
+
 // SpilledChunks returns how many chunks were written to the spill file.
 func (rc *Recorder) SpilledChunks() int64 { return rc.spilledChunks }
 
@@ -126,6 +151,14 @@ func (rc *Recorder) Seal() {
 		rc.flushStaged()
 	}
 	rc.staged = nil
+	if rc.stagedSlab != nil {
+		putSlab(rc.stagedSlab)
+		rc.stagedSlab = nil
+	}
+	if rc.enc != nil {
+		encoderPool.Put(rc.enc)
+		rc.enc = nil
+	}
 	rc.sealed = true
 }
 
@@ -151,7 +184,11 @@ func (rc *Recorder) Consume(r *Record) {
 		panic("trace: Consume on a sealed Recorder (recording after publication)")
 	}
 	if rc.staged == nil {
-		rc.staged = make([]Record, 0, recorderChunkSize)
+		// The ~0.9 MiB staging buffer comes from the replay slab pool (same
+		// shape, same lifetime discipline) and returns there at Seal, so
+		// recording a trace does not allocate it fresh per Recorder.
+		rc.stagedSlab = getSlab()
+		rc.staged = rc.stagedSlab.recs[:0]
 	}
 	rc.staged = append(rc.staged, *r)
 	rc.n++
@@ -160,13 +197,27 @@ func (rc *Recorder) Consume(r *Record) {
 	}
 }
 
+// encoderPool recycles chunkEncoders — their per-column scratch and the
+// encode output buffer — across Recorders. Encoding into pooled scratch and
+// copying out exactly the retained bytes (nothing at all for spilled
+// chunks) is what keeps the recording path's steady-state allocation to one
+// right-sized chunk copy, measured by BenchmarkVMStepsRecording.
+var encoderPool = sync.Pool{New: func() any { return new(chunkEncoder) }}
+
 // flushStaged transposes the staging buffer into one encoded chunk,
 // retaining it resident or spilling it when past the memory budget.
 func (rc *Recorder) flushStaged() {
 	firstSeq := rc.n - int64(len(rc.staged))
-	data := rc.enc.encode(nil, rc.staged, firstSeq, true)
+	if rc.enc == nil {
+		rc.enc = encoderPool.Get().(*chunkEncoder)
+	}
+	rc.enc.buf = rc.enc.encode(rc.enc.buf[:0], rc.staged, firstSeq, true)
+	data := rc.enc.buf
 	c := rchunk{size: int32(len(data)), n: int32(len(rc.staged))}
 	rc.encodedBytes += int64(len(data))
+	if int64(len(data)) > rc.maxChunkBytes {
+		rc.maxChunkBytes = int64(len(data))
+	}
 	if rc.memBudget > 0 && rc.residentBytes+int64(len(data)) > rc.memBudget {
 		if rc.spill == nil {
 			sf, err := newSpillFile()
@@ -182,7 +233,9 @@ func (rc *Recorder) flushStaged() {
 		c.off = off
 		rc.spilledChunks++
 	} else {
-		c.data = data
+		retained := make([]byte, len(data))
+		copy(retained, data)
+		c.data = retained
 		rc.residentBytes += int64(len(data))
 	}
 	rc.chunks = append(rc.chunks, c)
@@ -240,16 +293,38 @@ func mustDecodeChunk(out []Record, data []byte, firstSeq int64) int {
 	return n
 }
 
+// recSlab is one pooled chunk-sized Record buffer plus the per-buffer
+// scratch for reading a spilled chunk back from disk. The spill scratch
+// lives on the buffer (not the decode lane) because the pipelined walk
+// reads chunk i+lanes while the consumer still holds chunk i — a
+// lane-shared buffer would be overwritten under the consumer's feet. That
+// hazard is theoretical for fully materialized Record slabs but real for
+// batches, whose byte columns alias the encoded bytes; keeping the scratch
+// per-buffer makes both walks safe by construction.
+type recSlab struct {
+	recs []Record
+	n    int
+	raw  []byte
+}
+
+// spillBuf returns the slab-owned scratch for reading one spilled chunk.
+func (s *recSlab) spillBuf(size int) []byte {
+	if cap(s.raw) < size {
+		s.raw = make([]byte, size)
+	}
+	s.raw = s.raw[:size]
+	return s.raw
+}
+
 // slabPool recycles chunk-sized decode slabs across replay passes. A slab is
 // ~0.9 MiB, so per-pass allocation would dominate short replays; the pool
 // keeps steady-state replay allocation-free.
 var slabPool = sync.Pool{New: func() any {
-	s := make([]Record, recorderChunkSize)
-	return &s
+	return &recSlab{recs: make([]Record, recorderChunkSize)}
 }}
 
-func getSlab() []Record  { return *(slabPool.Get().(*[]Record)) }
-func putSlab(s []Record) { s = s[:cap(s)]; slabPool.Put(&s) }
+func getSlab() *recSlab  { return slabPool.Get().(*recSlab) }
+func putSlab(s *recSlab) { slabPool.Put(s) }
 
 // decodeLanes picks the decode-ahead width for a replay pass: one lane per
 // spare CPU up to six (the chunk transpose costs ~16 ns/record against
@@ -271,30 +346,37 @@ func decodeLanes(nchunks int) int {
 	return w
 }
 
-// walkSlabs streams every flushed chunk through fn as a decoded []Record
-// slab, in record order. On multi-core machines the decode runs ahead of the
-// consumer on a small pool of worker lanes — chunk i is decoded on lane
-// i%lanes while the consumer walks earlier slabs, so the per-record cost of
-// the consume loop approaches the AoS walk and the transpose hides behind
-// it. Each lane owns two slabs (decode one while the consumer holds the
-// other); delivery is strictly round-robin, which keeps record order without
-// any reordering buffer. Spilled chunks are read back by the lane that
-// decodes them (positional reads are independent), replacing the sequential
-// prefetcher on that path. Single-core or tiny traces fall back to inline
-// decode through walkChunks. The slab passed to fn is valid only until fn
-// returns, and fn may mutate it (ReplayDirs patches directives in place) —
-// every field of every record is rewritten on the next decode.
-func (rc *Recorder) walkSlabs(fn func(recs []Record)) {
+// walkPipe streams every flushed chunk through deliver as a decoded buffer
+// (a Record slab or a column Batch), in record order. On multi-core
+// machines the decode runs ahead of the consumer on a small pool of worker
+// lanes — chunk i is decoded on lane i%lanes while the consumer walks
+// earlier buffers, so the per-record cost of the consume loop approaches
+// the raw in-memory walk and the decode hides behind it. Each lane owns two
+// buffers (decode one while the consumer holds the other); delivery is
+// strictly round-robin, which keeps record order without any reordering
+// buffer. Spilled chunks are read back by the lane that decodes them
+// (positional reads are independent) into buffer-owned scratch, replacing
+// the sequential prefetcher on that path. Single-core or tiny traces fall
+// back to inline decode through walkChunks. The buffer passed to deliver is
+// valid only until deliver returns — every element is rewritten on the next
+// decode.
+func walkPipe[B interface{ spillBuf(size int) []byte }](
+	rc *Recorder,
+	get func() B, put func(B),
+	decode func(buf B, data []byte, firstSeq int64),
+	deliver func(buf B),
+) {
 	nchunks := len(rc.chunks)
 	if nchunks == 0 {
 		return
 	}
 	lanes := decodeLanes(nchunks)
 	if lanes == 0 {
-		slab := getSlab()
-		defer putSlab(slab)
+		buf := get()
+		defer put(buf)
 		rc.walkChunks(func(data []byte, n int, firstSeq int64) {
-			fn(slab[:mustDecodeChunk(slab, data, firstSeq)])
+			decode(buf, data, firstSeq)
+			deliver(buf)
 		})
 		return
 	}
@@ -307,17 +389,17 @@ func (rc *Recorder) walkSlabs(fn func(recs []Record)) {
 	}
 
 	type lane struct {
-		out  chan []Record // decoded slabs, in this lane's chunk order
-		free chan []Record // slabs returned by the consumer
+		out  chan B // decoded buffers, in this lane's chunk order
+		free chan B // buffers returned by the consumer
 	}
 	ls := make([]lane, lanes)
 	done := make(chan struct{})
 	panics := make(chan any, lanes)
 	var wg sync.WaitGroup
 	for w := range ls {
-		ls[w] = lane{out: make(chan []Record, 1), free: make(chan []Record, 2)}
-		ls[w].free <- getSlab()
-		ls[w].free <- getSlab()
+		ls[w] = lane{out: make(chan B, 1), free: make(chan B, 2)}
+		ls[w].free <- get()
+		ls[w].free <- get()
 		wg.Add(1)
 		go func(w int, ln lane) {
 			defer wg.Done()
@@ -327,29 +409,25 @@ func (rc *Recorder) walkSlabs(fn func(recs []Record)) {
 					close(ln.out)
 				}
 			}()
-			var buf []byte
 			for i := w; i < nchunks; i += lanes {
-				var slab []Record
+				var buf B
 				select {
-				case slab = <-ln.free:
+				case buf = <-ln.free:
 				case <-done:
 					return
 				}
 				c := &rc.chunks[i]
 				data := c.data
 				if data == nil {
-					if cap(buf) < int(c.size) {
-						buf = make([]byte, c.size)
-					}
-					buf = buf[:c.size]
-					if _, err := rc.spill.f.ReadAt(buf, c.off); err != nil {
+					sb := buf.spillBuf(int(c.size))
+					if _, err := rc.spill.f.ReadAt(sb, c.off); err != nil {
 						panic(fmt.Sprintf("trace: read spilled chunk: %v", err))
 					}
-					data = buf
+					data = sb
 				}
-				n := mustDecodeChunk(slab, data, firstSeqs[i])
+				decode(buf, data, firstSeqs[i])
 				select {
-				case ln.out <- slab[:n]:
+				case ln.out <- buf:
 				case <-done:
 					return
 				}
@@ -360,20 +438,20 @@ func (rc *Recorder) walkSlabs(fn func(recs []Record)) {
 	defer func() {
 		close(done)
 		wg.Wait()
-		// Return every slab still parked in a lane to the pool. A lane that
-		// aborted mid-decode keeps its slab; the GC reclaims it.
+		// Return every buffer still parked in a lane to the pool. A lane
+		// that aborted mid-decode keeps its buffer; the GC reclaims it.
 		for _, ln := range ls {
 			for {
 				select {
-				case s := <-ln.free:
-					putSlab(s)
+				case b := <-ln.free:
+					put(b)
 					continue
 				default:
 				}
 				select {
-				case s, ok := <-ln.out:
+				case b, ok := <-ln.out:
 					if ok {
-						putSlab(s)
+						put(b)
 						continue
 					}
 				default:
@@ -384,22 +462,89 @@ func (rc *Recorder) walkSlabs(fn func(recs []Record)) {
 	}()
 	for i := 0; i < nchunks; i++ {
 		ln := ls[i%lanes]
-		slab, ok := <-ln.out
+		buf, ok := <-ln.out
 		if !ok {
 			panic(<-panics)
 		}
-		fn(slab)
-		ln.free <- slab[:cap(slab)]
+		deliver(buf)
+		ln.free <- buf
 	}
 }
 
-// Replay feeds the recorded stream to the consumers in order. Chunks are
+// walkSlabs streams every flushed chunk through fn as a decoded []Record
+// slab, in record order (see walkPipe for the pipelining). fn may mutate
+// the slab — ReplayDirs patches directives in place.
+func (rc *Recorder) walkSlabs(fn func(recs []Record)) {
+	walkPipe(rc, getSlab, putSlab,
+		func(s *recSlab, data []byte, firstSeq int64) {
+			s.n = mustDecodeChunk(s.recs, data, firstSeq)
+		},
+		func(s *recSlab) { fn(s.recs[:s.n]) })
+}
+
+// walkBatches streams every flushed chunk through fn as decoded column
+// Batches, in record order (see walkPipe for the pipelining). Each batch is
+// valid only until fn returns; its byte columns alias either the immutable
+// resident chunk or the batch-owned spill scratch, so concurrent replays
+// never share mutable state. On the inline single-core path chunks are
+// delivered as cache-resident sub-batches (see streamBatch); lane-decoded
+// chunks arrive whole, one batch per chunk.
+func (rc *Recorder) walkBatches(fn func(b *Batch)) {
+	if decodeLanes(len(rc.chunks)) == 0 {
+		b := getBatch()
+		defer putBatch(b)
+		rc.walkChunks(func(data []byte, n int, firstSeq int64) {
+			mustStreamBatch(b, data, firstSeq, fn)
+		})
+		return
+	}
+	walkPipe(rc, getBatch, putBatch,
+		func(b *Batch, data []byte, firstSeq int64) {
+			mustDecodeBatch(b, data, firstSeq)
+		},
+		fn)
+}
+
+// batchable returns the consumers as batch kernels when the batch path is
+// enabled and every consumer supports it, nil otherwise (mixed fan-outs
+// fall back to the scalar walk so all consumers observe one decode).
+func (rc *Recorder) batchable(consumers []Consumer) []BatchConsumer {
+	if rc.scalarReplay || len(consumers) == 0 {
+		return nil
+	}
+	bcs := make([]BatchConsumer, len(consumers))
+	for i, c := range consumers {
+		bc, ok := c.(BatchConsumer)
+		if !ok {
+			return nil
+		}
+		bcs[i] = bc
+	}
+	return bcs
+}
+
+// Replay feeds the recorded stream to the consumers in order. Consumers
+// implementing BatchConsumer (all of them, or none — mixed sets fall back)
+// receive whole decoded chunks as column batches; otherwise chunks are
 // batch-decoded into scratch slabs (running ahead of the consumer on
-// multi-core machines, see walkSlabs) and handed out record by record under
+// multi-core machines, see walkPipe) and handed out record by record under
 // the live-run contract: the record is only valid for the duration of the
 // Consume call, and consumers must not modify it.
 func (rc *Recorder) Replay(consumers ...Consumer) {
 	rc.passes.Add(1)
+	if bcs := rc.batchable(consumers); bcs != nil {
+		rc.walkBatches(func(b *Batch) {
+			for _, c := range bcs {
+				c.ConsumeBatch(b)
+			}
+		})
+		for i := range rc.staged {
+			for _, c := range consumers {
+				c.Consume(&rc.staged[i])
+			}
+		}
+		return
+	}
 	if len(consumers) == 1 {
 		// The common fan-out, with the consumer interface loaded once.
 		c := consumers[0]
@@ -436,6 +581,29 @@ func (rc *Recorder) Replay(consumers ...Consumer) {
 // keeping concurrent replays safe.
 func (rc *Recorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
 	rc.passes.Add(1)
+	if bcs := rc.batchable(consumers); bcs != nil {
+		rc.walkBatches(func(b *Batch) {
+			// The Dir column is batch-owned decode scratch (rewritten on
+			// the next decode), so the patch writes it in place.
+			patchDirs(b.Dir, b.Addr, dirs)
+			for _, c := range bcs {
+				c.ConsumeBatch(b)
+			}
+		})
+		var rec Record
+		for i := range rc.staged {
+			rec = rc.staged[i]
+			if a := rec.Addr; a >= 0 && a < int64(len(dirs)) {
+				rec.Dir = dirs[a]
+			} else {
+				rec.Dir = isa.DirNone
+			}
+			for _, c := range consumers {
+				c.Consume(&rec)
+			}
+		}
+		return
+	}
 	var single Consumer
 	if len(consumers) == 1 {
 		single = consumers[0]

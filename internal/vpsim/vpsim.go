@@ -184,6 +184,21 @@ func (e *Engine) Consume(r *trace.Record) {
 	e.Observe(r.Addr, r.Dir, r.Value)
 }
 
+// ConsumeBatch implements trace.BatchConsumer: a tight loop over the
+// flags/addr/dir/value columns feeding Observe, with no Record
+// materialization or interface dispatch per record. The Dir column carries
+// any directive patch the replay applied, so FSM and profile policies both
+// see exactly the scalar stream.
+func (e *Engine) ConsumeBatch(b *trace.Batch) {
+	flags, addrs, dirs, vals := b.Flags, b.Addr, b.Dir, b.Value
+	for i, f := range flags {
+		if f&trace.FlagHasDest == 0 {
+			continue
+		}
+		e.Observe(addrs[i], dirs[i], vals[i])
+	}
+}
+
 // PolicyName reports the classification policy driving the engine.
 func (e *Engine) PolicyName() string { return e.policy.Name() }
 

@@ -288,7 +288,9 @@ func BenchmarkTraceStore(b *testing.B) {
 			b.Fatalf("replayed %d records, want %d", seen, total)
 		}
 		reportMIPS(b, total)
-		b.ReportMetric(float64(spill.Bytes())/float64(spill.Len()), "memB/rec")
+		// Bytes() is ~0 for a fully spilled store; the honest footprint is
+		// the replay working set (resident chunks + double-buffered readback).
+		b.ReportMetric(float64(spill.ReplayResidentBytes())/float64(spill.Len()), "memB/rec")
 	})
 
 	disk := func(format trace.Format) func(b *testing.B) {
@@ -315,6 +317,81 @@ func BenchmarkTraceStore(b *testing.B) {
 	}
 	b.Run("disk-v1", disk(trace.FormatV1))
 	b.Run("disk-v2", disk(trace.FormatV2))
+}
+
+// BenchmarkBatchKernels measures the batch column-kernel replay path
+// against the scalar per-record reference on the same sealed trace. The
+// walkonly pair is the machine-independent headline (a near-free consumer,
+// so the ratio isolates decode + dispatch — the overhead the batch path
+// removes); scripts/bench_smoke.sh gates on it staying ≥ 2x. The profiler
+// and engine pairs show how much of the win survives under real
+// consumer work. All legs report ns/rec.
+func BenchmarkBatchKernels(b *testing.B) {
+	prog, err := workload.Build("compress", workload.EvaluationInput())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	if _, err := workload.Run(prog, rec); err != nil {
+		b.Fatal(err)
+	}
+	rec.Seal()
+
+	pair := func(name string, run func(b *testing.B)) {
+		for _, leg := range []struct {
+			suffix string
+			scalar bool
+		}{{"scalar", true}, {"batch", false}} {
+			b.Run(name+"-"+leg.suffix, func(b *testing.B) {
+				rec.SetScalarReplay(leg.scalar)
+				defer rec.SetScalarReplay(false)
+				run(b)
+			})
+		}
+	}
+
+	reportNsPerRec := func(b *testing.B, total int64) {
+		reportMIPS(b, total)
+		if total > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/rec")
+		}
+	}
+
+	pair("walkonly", func(b *testing.B) {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			var ct trace.Counter
+			rec.Replay(&ct)
+			if ct.Records != rec.Len() {
+				b.Fatalf("replayed %d records, want %d", ct.Records, rec.Len())
+			}
+			total += ct.Records
+		}
+		b.StopTimer()
+		reportNsPerRec(b, total)
+	})
+	pair("profiler", func(b *testing.B) {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			rec.Replay(profiler.NewCollector())
+			total += rec.Len()
+		}
+		b.StopTimer()
+		reportNsPerRec(b, total)
+	})
+	pair("engine", func(b *testing.B) {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			table, err := predictor.NewTable(predictor.Stride, predictor.DefaultTableConfig)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.Replay(vpsim.NewProfileEngine(table))
+			total += rec.Len()
+		}
+		b.StopTimer()
+		reportNsPerRec(b, total)
+	})
 }
 
 // countWriter counts bytes and discards them — serialization cost without

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Runs the key simulation-throughput benchmarks with -benchmem and emits a
 # machine-readable BENCH_report.json so the perf trajectory can be tracked
-# across PRs. The report has three sections: "benchmarks" (simulation
-# substrate + experiment drivers), "server" (vpserve throughput,
-# requests/sec for cached vs uncached evaluate calls), and "cluster"
-# (vpcoord sharded-sweep throughput at one vs two worker nodes). Usage:
+# across PRs. The report sections: "benchmarks" (simulation substrate +
+# experiment drivers), "speedups" (paired baseline-vs-optimized ratios),
+# "trace_storage" (columnar compression byte counts), "batch_kernels"
+# (scalar vs batch replay ns/rec + speedup ratios), "server" (vpserve
+# throughput, requests/sec for cached vs uncached evaluate calls), and
+# "cluster" (vpcoord sharded-sweep throughput at one vs two worker nodes).
+# Usage:
 #
 #   scripts/bench.sh [output.json]
 #
@@ -19,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_report.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkTraceStore|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
+BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkTraceStore|BenchmarkBatchKernels|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
 SERVER_BENCHMARKS="${SERVER_BENCHMARKS:-^(BenchmarkServerEvaluateCached|BenchmarkServerEvaluateCachedParallel|BenchmarkServerEvaluateUncached)\$}"
 CLUSTER_BENCHMARKS="${CLUSTER_BENCHMARKS:-^BenchmarkClusterSweep\$}"
 
@@ -90,6 +93,39 @@ END {
 ' "$1"
 }
 
+# Summarize the batch column-kernel replay path from the BenchmarkBatchKernels
+# ns/rec metrics: scalar (per-record reference) vs batch ns/rec for each
+# consumer pair, plus the walkonly speedup ratio bench_smoke.sh gates on.
+# Both legs of a pair walk the same sealed trace in the same process, so the
+# ratio is machine-independent even though the ns/rec values are not.
+emit_batch_kernels() {
+    awk '
+/^BenchmarkBatchKernels\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkBatchKernels\//, "", name)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "ns/rec") nsrec[name] = $i
+    }
+}
+END {
+    n = split("walkonly profiler engine", pairs, " ")
+    first = 1
+    for (p = 1; p <= n; p++) {
+        s = nsrec[pairs[p] "-scalar"]
+        b = nsrec[pairs[p] "-batch"]
+        if (s == "" || b == "" || b + 0 == 0) continue
+        if (!first) printf ",\n"
+        first = 0
+        printf "    \"ns_per_rec_%s_scalar\": %s,\n", pairs[p], s
+        printf "    \"ns_per_rec_%s_batch\": %s,\n", pairs[p], b
+        printf "    \"%s_speedup\": %.3f", pairs[p], s / b
+    }
+    printf "\n"
+}
+' "$1"
+}
+
 # Convert `go test -bench` output lines into a JSON array body:
 #   BenchmarkFoo/bar-8  10  123 ns/op  45.6 Minstr/s  678 B/op  9 allocs/op
 emit_entries() {
@@ -138,7 +174,7 @@ END {
 
 {
     echo "{"
-    echo "  \"schema\": \"bench-report/v5\","
+    echo "  \"schema\": \"bench-report/v6\","
     echo "  \"benchmarks\": ["
     emit_entries "$RAW_SIM"
     echo "  ],"
@@ -147,6 +183,9 @@ END {
     echo "  ],"
     echo "  \"trace_storage\": {"
     emit_trace_storage "$RAW_SIM"
+    echo "  },"
+    echo "  \"batch_kernels\": {"
+    emit_batch_kernels "$RAW_SIM"
     echo "  },"
     echo "  \"server\": ["
     emit_entries "$RAW_SRV"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI bench smoke for the replay substrate. Two benchmark runs, four gates:
+# CI bench smoke for the replay substrate. Three benchmark runs, five gates:
 #
 #   1. Single-pass sweep: BenchmarkMultiEvalSweep's multieval-vs-separate
 #      walkonly speedup must not regress more than MAX_REGRESSION_PCT versus
@@ -15,6 +15,10 @@
 #      MAX_WALK_GAP_PCT of the resident-AoS baseline outright.
 #   4. Spill-mode replay: the walk-spill overhead over resident walk-columnar
 #      must not regress versus the committed report.
+#   5. Batch column kernels: BenchmarkBatchKernels' walkonly scalar/batch
+#      ns/rec ratio must stay ≥ MIN_BATCH_SPEEDUP outright (the PR-level
+#      acceptance bar) and must not regress more than MAX_REGRESSION_PCT
+#      versus the committed report's walkonly_speedup.
 #
 # Ratio gates compare the speedup RATIO, not raw ns/op — the committed
 # report comes from a different machine than CI, so absolute times are
@@ -32,6 +36,8 @@
 #   MAX_REGRESSION_PCT allowed ratio loss in percent (default 20)
 #   MAX_WALK_GAP_PCT   allowed walkonly columnar-vs-AoS gap on machines with
 #                      a full decode-ahead pipeline (default 5)
+#   MIN_BATCH_SPEEDUP  absolute floor for the batch-kernel walkonly
+#                      scalar/batch ratio (default 2.0)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +46,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 BENCHCOUNT="${BENCHCOUNT:-5}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-20}"
 MAX_WALK_GAP_PCT="${MAX_WALK_GAP_PCT:-5}"
+MIN_BATCH_SPEEDUP="${MIN_BATCH_SPEEDUP:-2.0}"
 
 committed_speedup() {
     grep -o "\"baseline\": \"$1\", \"optimized\": \"$2\", \"speedup_vs_sequential\": [0-9.]*" "$REPORT" \
@@ -49,16 +56,19 @@ committed_speedup() {
 committed_multi=$(committed_speedup walkonly-separate walkonly-multieval)
 committed_walk=$(committed_speedup walk-aos walk-columnar)
 committed_spill=$(committed_speedup walk-spill walk-columnar)
-if [[ -z "$committed_multi" || -z "$committed_walk" || -z "$committed_spill" ]]; then
+committed_batch=$(grep -o '"walkonly_speedup": [0-9.]*' "$REPORT" | head -1 | awk '{print $NF}')
+if [[ -z "$committed_multi" || -z "$committed_walk" || -z "$committed_spill" || -z "$committed_batch" ]]; then
     echo "bench_smoke: missing committed speedups in $REPORT (run scripts/bench.sh)" >&2
     exit 1
 fi
 
 RAW_MULTI="$(mktemp)"
 RAW_STORE="$(mktemp)"
-trap 'rm -f "$RAW_MULTI" "$RAW_STORE"' EXIT
+RAW_BATCH="$(mktemp)"
+trap 'rm -f "$RAW_MULTI" "$RAW_STORE" "$RAW_BATCH"' EXIT
 go test -run '^$' -bench '^BenchmarkMultiEvalSweep/walkonly' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_MULTI"
 go test -run '^$' -bench '^BenchmarkTraceStore$' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_STORE"
+go test -run '^$' -bench '^BenchmarkBatchKernels/walkonly' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_BATCH"
 
 # Gate 1: the pass-merging machinery. The walkonly pair isolates it from
 # predictor-table work, so its ratio is stable where the engine pair's is
@@ -143,5 +153,37 @@ END {
         printf "bench_smoke: FAIL — spill-mode replay regressed more than %s%%\n", max > "/dev/stderr"
         exit 1
     }
-    print "bench_smoke: OK"
 }' "$RAW_STORE"
+
+# Gate 5: the batch column kernels. Both legs walk the same sealed trace
+# through a near-free consumer, so the scalar/batch ns/rec ratio isolates
+# decode + dispatch overhead and is machine-independent: it must clear the
+# absolute acceptance bar AND not regress versus the committed report.
+awk -v committed="$committed_batch" -v max="$MAX_REGRESSION_PCT" -v minratio="$MIN_BATCH_SPEEDUP" '
+/^BenchmarkBatchKernels\/walkonly-/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "ns/rec" && (ns[name] == "" || $i + 0 < ns[name] + 0)) ns[name] = $i
+    }
+}
+END {
+    scalar = ns["BenchmarkBatchKernels/walkonly-scalar"]
+    batch = ns["BenchmarkBatchKernels/walkonly-batch"]
+    if (scalar == "" || batch == "" || batch + 0 == 0) {
+        print "bench_smoke: BenchmarkBatchKernels produced no ns/rec numbers" > "/dev/stderr"
+        exit 1
+    }
+    cur = scalar / batch
+    floor = committed * (1 - max / 100)
+    printf "bench_smoke: batch-kernel walkonly speedup %.3fx (committed %.3fx, floor %.3fx, absolute bar %.2fx)\n", cur, committed, floor, minratio
+    if (cur < minratio + 0) {
+        printf "bench_smoke: FAIL — batch walkonly speedup below the %.2fx acceptance bar\n", minratio > "/dev/stderr"
+        exit 1
+    }
+    if (cur < floor) {
+        printf "bench_smoke: FAIL — batch kernels regressed more than %s%% vs the committed ratio\n", max > "/dev/stderr"
+        exit 1
+    }
+    print "bench_smoke: OK"
+}' "$RAW_BATCH"
