@@ -50,6 +50,7 @@ func main() {
 		classifier = flag.String("classifier", "fsm", "classifier: fsm or profile")
 		tracePath  = flag.String("trace", "", "write the dynamic trace to this file")
 		traceFmt   = flag.String("trace-format", "v2", "trace file format: v2 (columnar compressed, default) or v1 (legacy fixed records)")
+		scalarRec  = flag.Bool("scalar-record", false, "force the scalar per-record recording path instead of the default fused execute+encode column path (output is bit-identical; debugging escape hatch)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (the vpserve report.Run schema)")
 		serverURL  = flag.String("server", "", "evaluate on a vpserve node or vpcoord cluster at this base URL instead of locally (requires -bench)")
@@ -151,6 +152,11 @@ func main() {
 		}
 		defer tw.Abort()
 		consumers = append(consumers, tw)
+	}
+	if *scalarRec {
+		for i, c := range consumers {
+			consumers[i] = trace.ScalarOnly(c)
+		}
 	}
 
 	n, err := workload.Run(p, consumers...)

@@ -55,6 +55,7 @@ func main() {
 		traces       = flag.Int("trace-cache", 32, "trace-cache entries (each can hold a full benchmark trace)")
 		traceMem     = flag.Int64("trace-mem-budget", 0, "resident bytes budget per recorded trace before chunks spill to disk (0 = unlimited)")
 		scalarReplay = flag.Bool("scalar-replay", false, "force the scalar per-record replay path instead of the default batch column kernels (results are bit-identical; debugging escape hatch)")
+		scalarRecord = flag.Bool("scalar-record", false, "force the scalar per-record recording path instead of the default fused execute+encode column path (traces are bit-identical; debugging escape hatch)")
 
 		stateDir   = flag.String("state-dir", "", "enable the durability layer: persist caches and the job journal under this directory (empty = in-memory only)")
 		journal    = flag.String("journal", "", "job-journal path (default <state-dir>/jobs.journal; requires -state-dir)")
@@ -111,6 +112,7 @@ func main() {
 		TraceCache:      *traces,
 		TraceMemBudget:  *traceMem,
 		ScalarReplay:    *scalarReplay,
+		ScalarRecord:    *scalarRecord,
 		StateDir:        *stateDir,
 		JournalPath:     *journal,
 		SweepCheckpoint: *checkpoint,

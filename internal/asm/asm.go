@@ -50,10 +50,19 @@ func (e *Error) Error() string {
 // "main" if defined, else at text address 0.
 func Assemble(name, src string) (*program.Program, error) {
 	a := &assembler{file: name}
-	if err := a.firstPass(src); err != nil {
+	// Parse once; both passes walk the same statements (and therefore agree
+	// exactly on addresses). The workload generators assemble thousands of
+	// lines per benchmark × input, so the statement list is built with one
+	// pass over the source and a shared operand arena instead of per-line
+	// Split allocations.
+	stmts, err := a.parseLines(src)
+	if err != nil {
 		return nil, err
 	}
-	if err := a.secondPass(src); err != nil {
+	if err := a.firstPass(stmts); err != nil {
+		return nil, err
+	}
+	if err := a.secondPass(stmts); err != nil {
 		return nil, err
 	}
 	p := &program.Program{
@@ -99,20 +108,32 @@ type statement struct {
 	fields []string // operands split on commas, trimmed
 }
 
-// parseLines splits source into statements. It is shared by both passes so
-// they agree exactly on addresses.
+// parseLines splits source into statements, once, for both passes. Operand
+// and label strings are appended to shared arenas and statements hold
+// capacity-capped sub-slices, so a source of N lines costs a handful of
+// amortized slice growths instead of several allocations per line (the
+// per-line strings.Split calls used to dominate the experiment drivers'
+// allocation profile, since every benchmark × input pair assembles a fresh
+// multi-thousand-line program).
 func (a *assembler) parseLines(src string) ([]statement, error) {
-	var stmts []statement
-	for i, raw := range strings.Split(src, "\n") {
-		line := i + 1
-		s := raw
+	nl := strings.Count(src, "\n") + 1
+	stmts := make([]statement, 0, nl)
+	arena := make([]string, 0, 3*nl) // ~3 operands per instruction line
+	var labelArena []string
+	for line := 1; src != ""; line++ {
+		s := src
+		if j := strings.IndexByte(src, '\n'); j >= 0 {
+			s, src = src[:j], src[j+1:]
+		} else {
+			src = ""
+		}
 		if j := strings.IndexAny(s, ";#"); j >= 0 {
 			s = s[:j]
 		}
 		s = strings.TrimSpace(s)
-		var labels []string
+		labelStart := len(labelArena)
 		for {
-			j := strings.Index(s, ":")
+			j := strings.IndexByte(s, ':')
 			if j < 0 {
 				break
 			}
@@ -120,9 +141,10 @@ func (a *assembler) parseLines(src string) ([]statement, error) {
 			if !validIdent(lbl) {
 				return nil, a.errf(line, "invalid label %q", lbl)
 			}
-			labels = append(labels, lbl)
+			labelArena = append(labelArena, lbl)
 			s = strings.TrimSpace(s[j+1:])
 		}
+		labels := labelArena[labelStart:len(labelArena):len(labelArena)]
 		if s == "" && len(labels) == 0 {
 			continue
 		}
@@ -136,9 +158,17 @@ func (a *assembler) parseLines(src string) ([]statement, error) {
 			st.op = strings.ToLower(op)
 			st.rest = rest
 			if rest != "" {
-				for _, f := range strings.Split(rest, ",") {
-					st.fields = append(st.fields, strings.TrimSpace(f))
+				start := len(arena)
+				for f := rest; ; {
+					j := strings.IndexByte(f, ',')
+					if j < 0 {
+						arena = append(arena, strings.TrimSpace(f))
+						break
+					}
+					arena = append(arena, strings.TrimSpace(f[:j]))
+					f = f[j+1:]
 				}
+				st.fields = arena[start:len(arena):len(arena)]
 			}
 		}
 		stmts = append(stmts, st)
@@ -147,12 +177,8 @@ func (a *assembler) parseLines(src string) ([]statement, error) {
 }
 
 // firstPass sizes segments and collects label addresses.
-func (a *assembler) firstPass(src string) error {
+func (a *assembler) firstPass(stmts []statement) error {
 	a.symbols = make(map[string]symbol)
-	stmts, err := a.parseLines(src)
-	if err != nil {
-		return err
-	}
 	inData := false
 	textAddr, dataAddr := int64(0), int64(0)
 	for _, st := range stmts {
@@ -201,15 +227,14 @@ func (a *assembler) firstPass(src string) error {
 			textAddr++
 		}
 	}
+	// Pre-size the segments so the second pass appends without regrowth.
+	a.text = make([]isa.Instruction, 0, textAddr)
+	a.data = make([]isa.Word, 0, dataAddr)
 	return nil
 }
 
 // secondPass emits instructions and data.
-func (a *assembler) secondPass(src string) error {
-	stmts, err := a.parseLines(src)
-	if err != nil {
-		return err
-	}
+func (a *assembler) secondPass(stmts []statement) error {
 	inData := false
 	for _, st := range stmts {
 		if st.op == "" {

@@ -247,6 +247,7 @@ func (pl *Pipeline) execute(p *program.Program, consumers ...trace.Consumer) err
 	if err != nil {
 		return err
 	}
+	defer m.Release()
 	for _, c := range consumers {
 		m.Attach(c)
 	}

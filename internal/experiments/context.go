@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/annotate"
+	"repro/internal/isa"
 	"repro/internal/parallel"
 	"repro/internal/profiler"
 	"repro/internal/program"
@@ -68,12 +69,21 @@ type Context struct {
 	// the equivalence assertions themselves. Exposed as vpreport
 	// -scalar-replay.
 	ScalarReplay bool
+	// ScalarRecord forces every recording run (the evaluation traces and
+	// the training profile passes) onto the scalar per-record VM loop
+	// instead of the default fused execute+encode column path. The traces
+	// and profiles are bit-identical either way — the fused path is
+	// differentially tested against this reference; the switch exists for
+	// those assertions and as a debugging escape hatch. Exposed as
+	// vpreport/vpserve -scalar-record.
+	ScalarRecord bool
 
 	mu         sync.Mutex
 	trainCache map[string]*cell[[]*profiler.Image]
 	mergeCache map[string]*cell[*profiler.Image]
 	evalCache  map[string]*cell[*profiler.Collector]
 	annoCache  map[annoKey]*cell[*annotated]
+	dirsCache  map[annoKey]*cell[[]isa.Directive]
 	traceCache map[string]*cell[*trace.Recorder]
 }
 
@@ -120,6 +130,7 @@ func NewContext() *Context {
 		mergeCache:     make(map[string]*cell[*profiler.Image]),
 		evalCache:      make(map[string]*cell[*profiler.Collector]),
 		annoCache:      make(map[annoKey]*cell[*annotated]),
+		dirsCache:      make(map[annoKey]*cell[[]isa.Directive]),
 		traceCache:     make(map[string]*cell[*trace.Recorder]),
 	}
 }
@@ -132,7 +143,11 @@ func (c *Context) TrainImages(bench string) ([]*profiler.Image, error) {
 		ims := make([]*profiler.Image, len(inputs))
 		for i, in := range inputs {
 			col := profiler.NewCollector()
-			if _, err := workload.BuildAndRun(bench, in, col); err != nil {
+			var sink trace.Consumer = col
+			if c.ScalarRecord {
+				sink = trace.ScalarOnly(col)
+			}
+			if _, err := workload.BuildAndRun(bench, in, sink); err != nil {
 				return nil, fmt.Errorf("experiments: profile %s under %s: %w", bench, in, err)
 			}
 			ims[i] = col.Image(bench, in.String())
@@ -164,6 +179,7 @@ func (c *Context) EvalTrace(bench string) (*trace.Recorder, error) {
 		rec := trace.NewRecorder()
 		rec.SetMemBudget(c.TraceMemBudget)
 		rec.SetScalarReplay(c.ScalarReplay)
+		rec.SetScalarRecord(c.ScalarRecord)
 		if _, err := workload.BuildAndRun(bench, workload.EvaluationInput(), rec); err != nil {
 			return nil, fmt.Errorf("experiments: record %s evaluation trace: %w", bench, err)
 		}
@@ -230,13 +246,29 @@ func (c *Context) RunEvalPlain(bench string, consumers ...trace.Consumer) error 
 	return nil
 }
 
+// annotatedDirs memoizes the per-address directive table of the annotated
+// text at (bench, threshold). Every sweep configuration and every replayed
+// engine comparison needs the same table; extracting it per call allocated a
+// directive slice per benchmark × threshold × experiment (a measurable slice
+// of the Figure 5.1/5.2 allocation profile). The table is immutable after
+// construction, like every other memoized artifact.
+func (c *Context) annotatedDirs(bench string, threshold float64) ([]isa.Directive, error) {
+	return memoize(&c.mu, c.dirsCache, annoKey{bench, threshold}, func() ([]isa.Directive, error) {
+		p, _, err := c.Annotated(bench, threshold)
+		if err != nil {
+			return nil, err
+		}
+		return trace.DirsOf(p.Text), nil
+	})
+}
+
 // RunEvalAnnotated feeds the consumers the threshold-annotated program's
 // evaluation-input stream. Annotation changes only directive bits — no code
 // motion — so this replays the recorded plain trace with the annotated
 // text's directives patched in, bit-identical to re-executing the annotated
 // program.
 func (c *Context) RunEvalAnnotated(bench string, threshold float64, consumers ...trace.Consumer) error {
-	p, _, err := c.Annotated(bench, threshold)
+	dirs, err := c.annotatedDirs(bench, threshold)
 	if err != nil {
 		return err
 	}
@@ -244,7 +276,7 @@ func (c *Context) RunEvalAnnotated(bench string, threshold float64, consumers ..
 	if err != nil {
 		return err
 	}
-	rec.ReplayDirs(trace.DirsOf(p.Text), consumers...)
+	rec.ReplayDirs(dirs, consumers...)
 	return nil
 }
 
@@ -294,11 +326,11 @@ func (c *Context) RunEvalSweep(bench string, cfgs ...SweepConfig) (int64, error)
 	for i, cfg := range cfgs {
 		ec := trace.EvalConfig{Consumer: cfg.Consumer}
 		if !cfg.Plain {
-			p, _, err := c.Annotated(bench, cfg.Threshold)
+			dirs, err := c.annotatedDirs(bench, cfg.Threshold)
 			if err != nil {
 				return 0, err
 			}
-			ec.Dirs = trace.DirsOf(p.Text)
+			ec.Dirs = dirs
 		}
 		evals[i] = ec
 	}

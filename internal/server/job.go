@@ -616,6 +616,7 @@ func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, 
 		rec := trace.NewRecorder()
 		rec.SetMemBudget(s.cfg.TraceMemBudget)
 		rec.SetScalarReplay(s.cfg.ScalarReplay)
+		rec.SetScalarRecord(s.cfg.ScalarRecord)
 		if _, err := workload.RunConfig(p, s.vmConfig(), rec); err != nil {
 			return nil, err
 		}
@@ -623,11 +624,16 @@ func (s *Server) recordedTrace(p *program.Program, fp string) (*trace.Recorder, 
 		// goroutines: concurrent replays are safe, further recording
 		// panics.
 		rec.Seal()
+		recordTime := time.Since(t0)
 		s.metrics.TraceBytesResident.Add(rec.BytesResident())
 		s.metrics.TraceChunksSpilled.Add(rec.SpilledChunks())
 		s.metrics.TraceRecords.Add(rec.Len())
 		s.metrics.TraceEncodedBytes.Add(rec.EncodedBytes())
-		s.metrics.ObserveStage(stageRecord, time.Since(t0))
+		s.metrics.TraceChunksEncoded.Add(rec.ChunksEncoded())
+		s.metrics.EncodeAheadStalls.Add(rec.EncodeStalls())
+		s.metrics.RecordNanos.Add(recordTime.Nanoseconds())
+		s.metrics.ObserveStage(stageRecord, recordTime)
+		s.metrics.ObserveStage(stageEncode, rec.EncodeTime())
 		if s.dur != nil {
 			if data, eerr := encodeTrace(rec); eerr == nil {
 				if perr := s.dur.store.Put(kindTraces, fp, data); perr != nil {

@@ -129,12 +129,13 @@ const (
 	stageExecute   = "execute"    // worker pickup → result (total minus queue_wait)
 	stageResolve   = "resolve"    // name/id → program image + fingerprint
 	stageRecord    = "record"     // execute once into the trace recorder
+	stageEncode    = "encode"     // column-chunk compression within the record stage
 	stageAnnotate  = "annotate"   // profile + threshold annotation (profile classifier)
 	stageReplay    = "replay"     // trace replay through the prediction engine(s)
 	stageTotal     = "total"      // submit → result
 )
 
-var stageNames = []string{stageQueueWait, stageExecute, stageResolve, stageRecord, stageAnnotate, stageReplay, stageTotal}
+var stageNames = []string{stageQueueWait, stageExecute, stageResolve, stageRecord, stageEncode, stageAnnotate, stageReplay, stageTotal}
 
 // Metrics aggregates the daemon's counters and histograms.
 type Metrics struct {
@@ -164,6 +165,16 @@ type Metrics struct {
 	TraceChunksSpilled atomic.Int64
 	TraceRecords       atomic.Int64
 	TraceEncodedBytes  atomic.Int64
+
+	// Record-side accounting (DESIGN.md §15). TraceChunksEncoded counts
+	// column chunks sealed through the chunk codec; EncodeAheadStalls counts
+	// the times the fused recording loop had to wait for the background
+	// encoder (backpressure from the encode-ahead pipeline); RecordNanos
+	// accumulates wall time spent in the record stage, giving the observed
+	// recording throughput next to TraceRecords.
+	TraceChunksEncoded atomic.Int64
+	EncodeAheadStalls  atomic.Int64
+	RecordNanos        atomic.Int64
 
 	stages map[string]*Histogram
 }
@@ -218,6 +229,14 @@ type MetricsSnapshot struct {
 	TraceBytesResident       int64   `json:"trace_bytes_resident"`
 	TraceChunksSpilled       int64   `json:"trace_chunks_spilled"`
 	TraceCodecBytesPerRecord float64 `json:"trace_codec_bytes_per_record"`
+
+	// Record side: chunks sealed through the column codec, stalls of the
+	// fused recording loop on the encode-ahead pipeline, and the observed
+	// recording throughput (recorded instructions over record-stage wall
+	// time, in millions per second; 0 until something is recorded).
+	TraceChunksEncoded int64   `json:"trace_chunks_encoded"`
+	EncodeAheadStalls  int64   `json:"encode_ahead_stalls"`
+	RecordMinstrPerS   float64 `json:"record_minstr_per_s"`
 
 	Caches map[string]CacheStats        `json:"caches"`
 	Stages map[string]HistogramSnapshot `json:"stages"`

@@ -71,6 +71,12 @@ type Config struct {
 	// kernels. Results are bit-identical either way; the switch is a
 	// debugging escape hatch, exposed as vpserve -scalar-replay.
 	ScalarReplay bool
+	// ScalarRecord forces every recording run onto the scalar per-record
+	// VM loop instead of the default fused execute+encode column path.
+	// Traces are byte-identical either way; the switch exists for the
+	// differential suites and as a debugging escape hatch, exposed as
+	// vpserve -scalar-record.
+	ScalarRecord bool
 	// StateDir, when set, enables the durability layer (DESIGN.md §13): a
 	// persistent artifact store under this directory backing every cache,
 	// plus a write-ahead job journal. Empty (the default) keeps all state
@@ -380,7 +386,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if recs := s.metrics.TraceRecords.Load(); recs > 0 {
 		snap.TraceCodecBytesPerRecord = float64(s.metrics.TraceEncodedBytes.Load()) / float64(recs)
+		if ns := s.metrics.RecordNanos.Load(); ns > 0 {
+			snap.RecordMinstrPerS = float64(recs) * 1e3 / float64(ns)
+		}
 	}
+	snap.TraceChunksEncoded = s.metrics.TraceChunksEncoded.Load()
+	snap.EncodeAheadStalls = s.metrics.EncodeAheadStalls.Load()
 	for _, name := range stageNames {
 		snap.Stages[name] = s.metrics.Stage(name).Snapshot()
 	}

@@ -43,6 +43,66 @@ func TestEvaluateReportsTraceStorage(t *testing.T) {
 	}
 }
 
+// TestRecordPathMetrics checks the record-side observability gauges: after an
+// evaluate job the snapshot must report sealed column chunks, a positive
+// recording throughput, and an encode-stage histogram with samples.
+func TestRecordPathMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, raw := postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{Bench: "compress"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: %d\n%s", resp.StatusCode, raw)
+	}
+	var snap MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if snap.TraceChunksEncoded <= 0 {
+		t.Errorf("trace_chunks_encoded = %d, want > 0 after recording", snap.TraceChunksEncoded)
+	}
+	if snap.RecordMinstrPerS <= 0 {
+		t.Errorf("record_minstr_per_s = %g, want > 0 after recording", snap.RecordMinstrPerS)
+	}
+	if snap.EncodeAheadStalls < 0 {
+		t.Errorf("encode_ahead_stalls = %d, want ≥ 0", snap.EncodeAheadStalls)
+	}
+	enc, ok := snap.Stages["encode"]
+	if !ok {
+		t.Fatal("stages missing the encode histogram")
+	}
+	if enc.Count <= 0 {
+		t.Errorf("encode stage count = %d, want > 0", enc.Count)
+	}
+	if rec := snap.Stages["record"]; rec.Count <= 0 {
+		t.Errorf("record stage count = %d, want > 0", rec.Count)
+	}
+}
+
+// TestScalarRecordServerMatchesFused runs the same sweep on a default server
+// and a -scalar-record server; results must be byte-identical (the storage
+// sections included — both paths encode the same chunks).
+func TestScalarRecordServerMatchesFused(t *testing.T) {
+	req := EvaluateRequest{Bench: "compress", Thresholds: []float64{90, 50}}
+	runLeg := func(scalar bool) json.RawMessage {
+		_, ts := newTestServer(t, Config{Workers: 1, ScalarRecord: scalar})
+		resp, raw := postJSON(t, ts.URL+"/v1/evaluate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scalar=%v evaluate: %d\n%s", scalar, resp.StatusCode, raw)
+		}
+		run := decodeJob(t, raw).Result
+		if run == nil {
+			t.Fatalf("scalar=%v: no result", scalar)
+		}
+		enc, err := json.Marshal(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	fused := runLeg(false)
+	scalar := runLeg(true)
+	if string(fused) != string(scalar) {
+		t.Errorf("scalar-record result differs from fused:\nfused:  %s\nscalar: %s", fused, scalar)
+	}
+}
+
 // TestSpilledServerMatchesResident runs the same sweep against a resident
 // server and a server with a 1-byte trace memory budget; the results must be
 // byte-identical (modulo the storage section itself) and the budgeted server

@@ -53,6 +53,8 @@ const chunkColumns = 5
 type chunkEncoder struct {
 	addr, value, mem, phase, seq []byte
 	buf                          []byte
+	zz                           []uint64 // zigzag scratch of the column encoder
+	col                          []byte   // irregular-width column scratch
 }
 
 // zigzag/zagzig mirror encoding/binary's varint transform for signed ints.
@@ -128,6 +130,130 @@ func (e *chunkEncoder) encode(dst []byte, recs []Record, firstSeq int64, withSeq
 		cols = cols[:chunkColumns-1]
 	}
 	for _, col := range cols {
+		dst = binary.AppendUvarint(dst, uint64(len(col)))
+		dst = append(dst, col...)
+	}
+	return dst
+}
+
+// encodeCols appends the columnar encoding of the staged columns to dst —
+// the chunk-seal batch twin of encode, byte-identical to encoding the
+// equivalent Record slice. The fixed byte columns are already in codec
+// layout (one memcpy each); the integer columns run through one
+// delta+zigzag pass that OR/AND-accumulates a uniformity prescan, then the
+// speculative uniform-width emitters of appendCol — the encode mirror of
+// decodeColUniform1/2. Canonical varints everywhere keep the output
+// bit-for-bit identical to binary.AppendUvarint.
+func (e *chunkEncoder) encodeCols(dst []byte, st *RecordColumns, withSeq bool) []byte {
+	n := st.N
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = append(dst, st.Op[:n]...)
+	dst = append(dst, st.Flags[:n]...)
+	dst = append(dst, st.Dest[:n]...)
+	dst = append(dst, st.Reads[:2*n]...)
+	if cap(e.zz) < n {
+		e.zz = make([]uint64, n)
+	}
+	zz := e.zz[:n]
+	dst = e.appendDeltaCol(dst, st.Addr[:n], zz)
+	dst = e.appendRawCol(dst, st.Value[:n], zz)
+	dst = e.appendDeltaCol(dst, st.Mem[:n], zz)
+	dst = e.appendDeltaCol(dst, st.Phase[:n], zz)
+	if withSeq {
+		dst = e.appendSeqCol(dst, st.Seq[:n], zz, st.FirstSeq)
+	}
+	return dst
+}
+
+// appendDeltaCol zigzag-delta-transforms vals into zz (prescanning for
+// uniform widths as it goes) and appends the length-prefixed column.
+func (e *chunkEncoder) appendDeltaCol(dst []byte, vals []int64, zz []uint64) []byte {
+	var orv uint64
+	andv := ^uint64(0)
+	var prev int64
+	for i, v := range vals {
+		z := zigzag(v - prev)
+		prev = v
+		zz[i] = z
+		orv |= z
+		andv &= z
+	}
+	return e.appendCol(dst, zz, orv, andv)
+}
+
+// appendRawCol is appendDeltaCol without the delta transform (the value
+// column carries full magnitudes).
+func (e *chunkEncoder) appendRawCol(dst []byte, vals []int64, zz []uint64) []byte {
+	var orv uint64
+	andv := ^uint64(0)
+	for i, v := range vals {
+		z := zigzag(v)
+		zz[i] = z
+		orv |= z
+		andv &= z
+	}
+	return e.appendCol(dst, zz, orv, andv)
+}
+
+// appendSeqCol encodes the seq column: each element's delta against its
+// stream position firstSeq+i (all zero for a single-stream recording, which
+// the uniform one-byte emitter turns into n bytes of 0x00).
+func (e *chunkEncoder) appendSeqCol(dst []byte, seq []int64, zz []uint64, firstSeq int64) []byte {
+	var orv uint64
+	andv := ^uint64(0)
+	for i, s := range seq {
+		z := zigzag(s - (firstSeq + int64(i)))
+		zz[i] = z
+		orv |= z
+		andv &= z
+	}
+	return e.appendCol(dst, zz, orv, andv)
+}
+
+// growBytes extends dst by n uninitialized bytes, reallocating only when
+// capacity runs out (the pooled encode buffer reaches steady state after
+// the first chunk).
+func growBytes(dst []byte, n int) []byte {
+	l := len(dst)
+	if cap(dst)-l < n {
+		nd := make([]byte, l, 2*(l+n))
+		copy(nd, dst)
+		dst = nd
+	}
+	return dst[:l+n]
+}
+
+// appendCol appends one length-prefixed varint column from the zigzag
+// scratch. The prescan accumulators pick the layout: orv < 0x80 means every
+// varint is one byte (a straight-line store loop, no per-element width
+// logic); a common set bit at position ≥ 7 (andv) with orv < 0x4000 proves
+// every element is in [0x80, 0x4000) — exactly two canonical bytes each.
+// Anything else takes the generic binary.AppendUvarint loop via scratch, so
+// an irregular column encodes identically, just slower.
+func (e *chunkEncoder) appendCol(dst []byte, zz []uint64, orv, andv uint64) []byte {
+	n := len(zz)
+	switch {
+	case orv < 0x80:
+		dst = binary.AppendUvarint(dst, uint64(n))
+		dst = growBytes(dst, n)
+		out := dst[len(dst)-n:]
+		for i, z := range zz {
+			out[i] = byte(z)
+		}
+	case orv < 0x4000 && andv >= 0x80:
+		dst = binary.AppendUvarint(dst, uint64(2*n))
+		dst = growBytes(dst, 2*n)
+		out := dst[len(dst)-2*n:]
+		for i, z := range zz {
+			out[2*i] = byte(z) | 0x80
+			out[2*i+1] = byte(z >> 7)
+		}
+	default:
+		col := e.col[:0]
+		for _, z := range zz {
+			col = binary.AppendUvarint(col, z)
+		}
+		e.col = col
 		dst = binary.AppendUvarint(dst, uint64(len(col)))
 		dst = append(dst, col...)
 	}

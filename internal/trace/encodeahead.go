@@ -1,0 +1,137 @@
+package trace
+
+import "sync"
+
+// The encode-ahead pipeline: the write-side mirror of walkPipe. On
+// multi-core machines the recording thread hands each filled column stage to
+// a single background encoder goroutine and immediately picks up a recycled
+// stage from a small free list, so execution of chunk k+1 overlaps the
+// zigzag/varint compression (and any spill write) of chunk k. One goroutine
+// plus a FIFO channel keeps chunk order — and therefore spill decisions,
+// chunk boundaries and the encoded bytes — exactly identical to the inline
+// sequential path, which remains the GOMAXPROCS=1 fallback. The free list is
+// double-buffered (two spare stages beyond the one being filled); a flush
+// that finds it empty counts an encode stall, the backpressure signal the
+// vpserve metrics surface.
+
+// aheadItem is one unit of encoder work: a filled stage, or a drain barrier
+// (st nil) whose ack closes once everything queued before it has encoded.
+type aheadItem struct {
+	st  *RecordColumns
+	ack chan struct{}
+}
+
+type encodeAhead struct {
+	rc   *Recorder
+	work chan aheadItem
+	free chan *RecordColumns
+	done chan struct{}
+
+	mu      sync.Mutex
+	failure any // first encoder panic, re-raised on the recording thread
+}
+
+// startEncodeAhead launches the pipeline for rc.
+func startEncodeAhead(rc *Recorder) *encodeAhead {
+	a := &encodeAhead{
+		rc:   rc,
+		work: make(chan aheadItem, 2),
+		free: make(chan *RecordColumns, 2),
+		done: make(chan struct{}),
+	}
+	a.free <- getCols()
+	a.free <- getCols()
+	go a.run()
+	return a
+}
+
+// run is the encoder goroutine: encode each stage in arrival order, recycle
+// it to the free list. A panic (spill-file failure) is captured and re-raised
+// on the recording thread at the next drain or stop; subsequent stages are
+// skipped, not encoded against corrupt state.
+func (a *encodeAhead) run() {
+	defer close(a.done)
+	enc := encoderPool.Get().(*chunkEncoder)
+	defer encoderPool.Put(enc)
+	for item := range a.work {
+		if item.st == nil {
+			close(item.ack)
+			continue
+		}
+		a.encodeOne(enc, item.st)
+		item.st.N = 0
+		a.free <- item.st
+	}
+}
+
+func (a *encodeAhead) encodeOne(enc *chunkEncoder, st *RecordColumns) {
+	defer func() {
+		if p := recover(); p != nil {
+			a.mu.Lock()
+			if a.failure == nil {
+				a.failure = p
+			}
+			a.mu.Unlock()
+		}
+	}()
+	if !a.failed() {
+		a.rc.encodeStage(enc, st)
+	}
+}
+
+func (a *encodeAhead) failed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failure != nil
+}
+
+// check re-raises a captured encoder panic on the calling goroutine.
+func (a *encodeAhead) check() {
+	a.mu.Lock()
+	p := a.failure
+	a.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// submit queues a filled stage for encoding.
+func (a *encodeAhead) submit(st *RecordColumns) { a.work <- aheadItem{st: st} }
+
+// acquire returns a free stage to keep recording into, counting a stall when
+// none is immediately available (the encoder is the bottleneck).
+func (a *encodeAhead) acquire(rc *Recorder) *RecordColumns {
+	select {
+	case st := <-a.free:
+		return st
+	default:
+	}
+	rc.stalls.Add(1)
+	return <-a.free
+}
+
+// drain blocks until everything submitted so far has been encoded (the
+// channel round-trip is the happens-before edge an unsealed replay needs to
+// read the chunk index without locks).
+func (a *encodeAhead) drain() {
+	ack := make(chan struct{})
+	a.work <- aheadItem{ack: ack}
+	<-ack
+	a.check()
+}
+
+// stop encodes everything queued, terminates the goroutine and returns the
+// pooled stages. Called under Seal.
+func (a *encodeAhead) stop() {
+	close(a.work)
+	<-a.done
+	for {
+		select {
+		case st := <-a.free:
+			putCols(st)
+		default:
+			a.check()
+			return
+		}
+	}
+}

@@ -101,10 +101,17 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // frames are written whole — so error attribution is exact for v1 (fixed
 // record size maps the partial-write offset back to a record index) and
 // frame-granular for v2 (the first record of the failing frame).
+//
+// A v2 Writer stages the frame being filled as columns, not records: it
+// implements ColumnAppender (the VM's fused loop writes destructured fields
+// straight into the frame stage) and BatchConsumer (replaying a sealed
+// Recorder to a file copies decoded columns frame by frame), and the scalar
+// Consume path destructures into the same stage — all three producers reach
+// the seal-time column encoder and produce byte-identical files.
 type Writer struct {
 	out     io.Writer
 	format  Format
-	staged  []Record // v2: records of the frame being filled
+	cols    *RecordColumns // v2: the frame being filled
 	enc     chunkEncoder
 	buf     []byte // encoded bytes awaiting write
 	bufRec  int64  // index of the first record encoded in buf
@@ -132,7 +139,11 @@ func NewWriterFormat(w io.Writer, format Format) (*Writer, error) {
 	if _, err := w.Write(magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: write magic: %w", err)
 	}
-	return &Writer{out: w, format: format, off: int64(len(magic))}, nil
+	tw := &Writer{out: w, format: format, off: int64(len(magic))}
+	if format == FormatV2 {
+		tw.cols = newRecordColumns(fileChunkSize)
+	}
+	return tw, nil
 }
 
 // flushBuf writes the pending batch. On failure it records the first error
@@ -170,12 +181,78 @@ func (tw *Writer) Consume(r *Record) {
 		tw.consumeV1(r)
 		return
 	}
-	tw.staged = append(tw.staged, *r)
-	tw.n++
-	if len(tw.staged) == fileChunkSize {
+	tw.cols.appendRecord(r)
+	if tw.cols.N == fileChunkSize {
 		tw.flushFrame()
 	}
 }
+
+// ConsumeBatch implements BatchConsumer: decoded replay chunks are copied
+// into the frame stage column-wise (the flags bytes are rebuilt so a
+// directive column patched by ReplayDirs lands in the file, exactly as the
+// scalar path writes the patched record). v1 falls back to per-record
+// encoding.
+func (tw *Writer) ConsumeBatch(b *Batch) {
+	if tw.err != nil {
+		tw.dropped += int64(b.N)
+		return
+	}
+	if tw.format == FormatV1 {
+		var r Record
+		for i := 0; i < b.N; i++ {
+			if tw.err != nil {
+				tw.dropped += int64(b.N - i)
+				return
+			}
+			b.Record(i, &r)
+			tw.consumeV1(&r)
+		}
+		return
+	}
+	for k := 0; k < b.N; {
+		st := tw.cols
+		m := b.N - k
+		if room := st.Cap() - st.N; m > room {
+			m = room
+		}
+		i := st.N
+		copy(st.Op[i:], b.Op[k:k+m])
+		copy(st.Dest[i:], b.Dest[k:k+m])
+		copy(st.Reads[2*i:], b.Reads[2*k:2*(k+m)])
+		copy(st.Addr[i:], b.Addr[k:k+m])
+		copy(st.Value[i:], b.Value[k:k+m])
+		copy(st.Mem[i:], b.MemAddr[k:k+m])
+		copy(st.Phase[i:], b.Phase[k:k+m])
+		for j := 0; j < m; j++ {
+			st.Flags[i+j] = b.Flags[k+j]&0x0f | byte(b.Dir[k+j])<<4
+		}
+		st.N = i + m
+		k += m
+		if st.N == st.Cap() {
+			tw.flushFrame()
+		}
+	}
+}
+
+// ColumnStage implements ColumnAppender: the VM's fused loop may write
+// destructured record fields straight into the frame stage. v1 keeps the
+// per-record reference path.
+func (tw *Writer) ColumnStage() *RecordColumns {
+	if tw.format == FormatV1 {
+		return nil
+	}
+	return tw.cols
+}
+
+// FlushColumns seals the filled frame stage.
+func (tw *Writer) FlushColumns() *RecordColumns {
+	tw.flushFrame()
+	return tw.cols
+}
+
+// FlushTail implements ColumnAppender; the partial frame stays staged until
+// Flush or Close, like scalar-consumed records.
+func (tw *Writer) FlushTail() {}
 
 func (tw *Writer) consumeV1(r *Record) {
 	var buf [v1RecordSize]byte
@@ -218,17 +295,21 @@ func (tw *Writer) consumeV1(r *Record) {
 	}
 }
 
-// flushFrame encodes and writes the staged records as one VPTRC02 frame.
+// flushFrame encodes and writes the staged columns as one VPTRC02 frame.
+// Records are counted as accepted here, at frame granularity, because fused
+// producers bypass Consume and write the stage directly.
 func (tw *Writer) flushFrame() {
-	if len(tw.staged) == 0 || tw.err != nil {
+	st := tw.cols
+	if st == nil || st.N == 0 || tw.err != nil {
 		return
 	}
+	tw.n += int64(st.N)
 	tw.buf = append(tw.buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
-	tw.buf = tw.enc.encode(tw.buf, tw.staged, tw.bufRec, false)
+	tw.buf = tw.enc.encodeCols(tw.buf, st, false)
 	payload := tw.buf[8:]
 	binary.LittleEndian.PutUint32(tw.buf[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(tw.buf[4:], crc32.Checksum(payload, castagnoli))
-	tw.staged = tw.staged[:0]
+	st.N = 0
 	tw.flushBuf()
 }
 

@@ -52,6 +52,8 @@ func (rc *Recorder) MultiEval(cfgs ...EvalConfig) int64 {
 		return 0
 	}
 	rc.passes.Add(1)
+	rc.drainEncode()
+	staged := rc.tailRecords()
 	nbatch := 0
 	for _, cfg := range cfgs {
 		if _, ok := cfg.Consumer.(BatchConsumer); ok {
@@ -64,9 +66,9 @@ func (rc *Recorder) MultiEval(cfgs ...EvalConfig) int64 {
 		var scratch Record
 		rc.walkSlabs(func(chunk []Record) { evalRecords(cfgs, chunk, &scratch) })
 	}
-	if len(rc.staged) > 0 {
+	if len(staged) > 0 {
 		var scratch Record
-		evalRecords(cfgs, rc.staged, &scratch)
+		evalRecords(cfgs, staged, &scratch)
 	}
 	return int64(len(cfgs) - 1)
 }

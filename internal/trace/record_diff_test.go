@@ -1,0 +1,393 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// This file is the record-side differential suite: the fused column recording
+// path (RecordColumns staging + chunkEncoder.encodeCols + the encode-ahead
+// pipeline) must be byte-identical to the scalar reference path
+// (Record staging + chunkEncoder.encode), end to end — same chunks in the
+// Recorder, same frames in the trace file.
+
+// colsOf stages recs into a fresh column stage, as a fused producer would.
+func colsOf(recs []Record, firstSeq int64) *RecordColumns {
+	st := newRecordColumns(len(recs))
+	st.FirstSeq = firstSeq
+	for i := range recs {
+		st.appendRecord(&recs[i])
+	}
+	return st
+}
+
+// widthStreams builds record streams engineered to drive each speculative
+// column-width path of appendCol: all-one-byte varints, exact two-byte
+// varints, and irregular mixes.
+func widthStreams() map[string][]Record {
+	mk := func(n int, f func(i int64, r *Record)) []Record {
+		recs := make([]Record, n)
+		for i := range recs {
+			r := synthRecord(int64(i))
+			f(int64(i), &r)
+			recs[i] = r
+		}
+		return recs
+	}
+	return map[string][]Record{
+		// Constant fields: every delta zero, every column one-byte uniform.
+		"uniform1": mk(300, func(i int64, r *Record) {
+			r.Addr, r.Value, r.MemAddr, r.Phase, r.Seq = 7, 3, 9, 1, i
+		}),
+		// Deltas of ±100 zigzag to 199/200 — in [0x80, 0x4000), exactly two
+		// canonical bytes each, driving the uniform two-byte emitter.
+		"uniform2": mk(300, func(i int64, r *Record) {
+			r.Addr = 100 * i
+			r.Value = 100 + i%64
+			r.MemAddr = -100 * i
+			r.Phase = int(100 * i)
+			r.Seq = i
+		}),
+		// A one-byte delta spliced into a two-byte run: sums to an ambiguous
+		// length only the element-wise validation rejects, forcing the generic
+		// encoder (and generic decode) without changing the payload length
+		// class.
+		"mixed": mk(257, func(i int64, r *Record) {
+			r.Addr = 100 * i
+			if i == 128 {
+				r.Addr = 100*i - 99 // one small delta mid-run
+			}
+			r.Value = i * i * 31
+			r.MemAddr = i << uint(i%5)
+			r.Seq = i
+		}),
+		// Large magnitudes: multi-byte varints throughout.
+		"wide": mk(100, func(i int64, r *Record) {
+			r.Addr = i * (1 << 40)
+			r.Value = (i - 50) * (1 << 50)
+			r.MemAddr = i * (1 << 33)
+			r.Seq = i
+		}),
+	}
+}
+
+// TestEncodeColsMatchesEncode pins the codec twin-path contract: encoding a
+// staged column chunk must produce byte-for-byte the same output as encoding
+// the equivalent Record slice, for every column-width speculation path and
+// for random streams.
+func TestEncodeColsMatchesEncode(t *testing.T) {
+	streams := widthStreams()
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 100, recorderChunkSize} {
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randomRecord(rng, int64(i))
+			if rng.Intn(4) == 0 {
+				recs[i].Seq = rng.Int63() - rng.Int63()
+			}
+		}
+		streams["random"+string(rune('a'+len(streams)))] = recs
+	}
+	for name, recs := range streams {
+		for _, withSeq := range []bool{true, false} {
+			var scalarEnc, colEnc chunkEncoder
+			want := scalarEnc.encode(nil, recs, 0, withSeq)
+			got := colEnc.encodeCols(nil, colsOf(recs, 0), withSeq)
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s withSeq=%v: encodeCols differs from encode (%d vs %d bytes)",
+					name, withSeq, len(got), len(want))
+			}
+		}
+	}
+}
+
+// chunkBytes seals rc and collects every encoded chunk (copied, since walk
+// buffers are recycled).
+func chunkBytes(t *testing.T, rc *Recorder) [][]byte {
+	t.Helper()
+	rc.Seal()
+	var chunks [][]byte
+	rc.walkChunks(func(data []byte, n int, firstSeq int64) {
+		chunks = append(chunks, append([]byte(nil), data...))
+	})
+	return chunks
+}
+
+// TestFusedRecorderMatchesScalarRecord records one stream through the default
+// column path and the scalar-record reference path and requires the encoded
+// chunks to be byte-identical, resident and fully spilled.
+func TestFusedRecorderMatchesScalarRecord(t *testing.T) {
+	const n = 2*recorderChunkSize + 345
+	rng := rand.New(rand.NewSource(21))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = randomRecord(rng, int64(i))
+	}
+	record := func(scalar bool, budget int64) *Recorder {
+		rc := NewRecorder()
+		rc.SetScalarRecord(scalar)
+		rc.SetMemBudget(budget)
+		for i := range recs {
+			rc.Consume(&recs[i])
+		}
+		t.Cleanup(func() { rc.Close() })
+		return rc
+	}
+	for _, budget := range []int64{0, 1} {
+		fused, scalar := record(false, budget), record(true, budget)
+		var fusedR capture
+		fused.Replay(&fusedR) // pre-seal replay: tail materialization path
+		if len(fusedR.recs) != n {
+			t.Fatalf("budget %d: pre-seal fused replay returned %d records, want %d", budget, len(fusedR.recs), n)
+		}
+		got, want := chunkBytes(t, fused), chunkBytes(t, scalar)
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: fused wrote %d chunks, scalar %d", budget, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("budget %d: chunk %d differs between fused and scalar-record", budget, i)
+			}
+		}
+		if budget > 0 && fused.SpilledChunks() == 0 {
+			t.Fatalf("budget %d: nothing spilled (spill path not exercised)", budget)
+		}
+		var scalarR capture
+		scalar.Replay(&scalarR)
+		if !reflect.DeepEqual(fusedR.recs, scalarR.recs) {
+			t.Fatalf("budget %d: fused replay differs from scalar-record replay", budget)
+		}
+	}
+}
+
+// TestColumnSinkMatchesScalarDelivery checks the ColumnSink adapter: a scalar
+// record stream pushed through a sink must deliver the same records (as
+// batches) that direct per-record consumption observes, including the
+// partial-tail flush.
+func TestColumnSinkMatchesScalarDelivery(t *testing.T) {
+	const n = recorderChunkSize + 99
+	var want capture
+	var got batchCapture
+	sink := NewColumnSink(&got)
+	for i := int64(0); i < n; i++ {
+		r := synthRecord(i)
+		r.Seq = i
+		want.Consume(&r)
+		sink.Consume(&r)
+	}
+	sink.Close()
+	if !reflect.DeepEqual(want.recs, got.recs) {
+		t.Fatal("ColumnSink delivery differs from direct scalar consumption")
+	}
+}
+
+// TestEncodeAheadPipelineMatchesSequential forces the encode-ahead pipeline on
+// (GOMAXPROCS > 1) and requires its chunks to be byte-identical to the
+// sequential inline encoder's, in order, with the observability counters
+// consistent.
+func TestEncodeAheadPipelineMatchesSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n = 5*recorderChunkSize + 77
+	rng := rand.New(rand.NewSource(31))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = randomRecord(rng, int64(i))
+	}
+	piped := NewRecorder()
+	for i := range recs {
+		piped.Consume(&recs[i])
+	}
+	if piped.ahead == nil {
+		t.Fatal("encode-ahead pipeline did not start at GOMAXPROCS=4")
+	}
+	// Pre-seal accessors must observe drained, ordered state.
+	piped.drainEncode()
+	if got := piped.ChunksEncoded(); got != 5 {
+		t.Fatalf("ChunksEncoded after drain = %d, want 5", got)
+	}
+	if piped.EncodeTime() <= 0 {
+		t.Error("EncodeTime = 0 after five encoded chunks")
+	}
+	if piped.EncodeStalls() < 0 {
+		t.Error("negative stall count")
+	}
+
+	seq := NewRecorder()
+	seq.aheadOff = true // sequential fallback, same machine
+	for i := range recs {
+		seq.Consume(&recs[i])
+	}
+	got, want := chunkBytes(t, piped), chunkBytes(t, seq)
+	if len(got) != len(want) {
+		t.Fatalf("pipelined wrote %d chunks, sequential %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("chunk %d differs between pipelined and sequential encode", i)
+		}
+	}
+}
+
+// writeFile writes recs through w-building fn and returns the file bytes.
+func writeFile(t *testing.T, format Format, fill func(tw *Writer)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewWriterFormat(&buf, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(tw)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWriterProducerPathsMatch drives the trace-file Writer through its three
+// producer paths — scalar Consume, batch ConsumeBatch (replay), and fused
+// column staging (live VM) — and requires byte-identical files.
+func TestWriterProducerPathsMatch(t *testing.T) {
+	const n = 2*fileChunkSize + 333
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = synthRecord(int64(i))
+		recs[i].Phase = int(uint16(recs[i].Phase)) // v1-representable
+	}
+	rc := NewRecorder()
+	for i := range recs {
+		rc.Consume(&recs[i])
+	}
+	rc.Seal()
+	defer rc.Close()
+
+	for _, format := range []Format{FormatV1, FormatV2} {
+		scalar := writeFile(t, format, func(tw *Writer) {
+			for i := range recs {
+				tw.Consume(&recs[i])
+			}
+		})
+		batch := writeFile(t, format, func(tw *Writer) { rc.Replay(tw) })
+		if !bytes.Equal(scalar, batch) {
+			t.Errorf("%v: batch-replay file differs from scalar-consume file", format)
+		}
+		if format != FormatV2 {
+			continue
+		}
+		fused := writeFile(t, format, func(tw *Writer) {
+			st := tw.ColumnStage()
+			if st == nil {
+				t.Fatal("v2 writer returned nil ColumnStage")
+			}
+			for i := range recs {
+				if st.N == st.Cap() {
+					st = tw.FlushColumns()
+				}
+				st.appendRecord(&recs[i])
+			}
+			tw.FlushTail()
+		})
+		if !bytes.Equal(scalar, fused) {
+			t.Error("v2: fused column-staged file differs from scalar-consume file")
+		}
+	}
+
+	// v1 writers must refuse the column fast path (records go through the
+	// scalar reference loop).
+	var buf bytes.Buffer
+	tw, err := NewWriterFormat(&buf, FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.ColumnStage() != nil {
+		t.Error("v1 writer offered a column stage")
+	}
+	tw.Close()
+}
+
+// FuzzColumnEncodeRoundTrip drives arbitrary integer columns through the
+// speculative uniform-width encode path (appendDeltaCol/appendRawCol) and the
+// matching speculative decoders, checking the round trip is the identity and
+// the encoding matches the scalar varint reference byte for byte.
+func FuzzColumnEncodeRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint16(1), int64(1), false)
+	f.Add(int64(5), uint16(300), int64(100), true)
+	f.Add(int64(-3), uint16(2000), int64(1<<40), true)
+	f.Fuzz(func(t *testing.T, seed int64, count uint16, scale int64, delta bool) {
+		n := int(count%4096) + 1
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int64, n)
+		if scale == 0 {
+			scale = 1
+		}
+		for i := range vals {
+			switch rng.Intn(3) {
+			case 0:
+				vals[i] = rng.Int63n(64) - 32 // one-byte zigzag territory
+			case 1:
+				v := 64 + rng.Int63n(8128) // two-byte zigzag territory
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				vals[i] = v
+			default:
+				vals[i] = rng.Int63()%scale - rng.Int63()%scale
+			}
+		}
+		// Reference: scalar canonical zigzag varints with the same
+		// delta/raw transform the column encoder applies.
+		var ref []byte
+		var prev int64
+		for _, v := range vals {
+			z := v
+			if delta {
+				z = v - prev
+				prev = v
+			}
+			ref = appendZigzag(ref, z)
+		}
+
+		var enc chunkEncoder
+		zz := make([]uint64, n)
+		var got []byte
+		if delta {
+			got = enc.appendDeltaCol(nil, vals, zz)
+		} else {
+			got = enc.appendRawCol(nil, vals, zz)
+		}
+		// The column is emitted length-prefixed; strip the prefix to compare
+		// against the bare reference bytes.
+		l64, hdr := uvarint(t, got)
+		body := got[hdr:]
+		if int(l64) != len(body) {
+			t.Fatalf("column length prefix %d, body %d bytes", l64, len(body))
+		}
+		if !bytes.Equal(body, ref) {
+			t.Fatalf("speculative column encode differs from scalar varint reference")
+		}
+
+		out := make([]int64, n)
+		if err := decodeVarintCol(body, out, delta); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(out, vals) {
+			t.Fatal("column round trip differs")
+		}
+	})
+}
+
+// uvarint decodes one uvarint prefix or fails the test.
+func uvarint(t *testing.T, b []byte) (uint64, int) {
+	t.Helper()
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	t.Fatal("truncated uvarint")
+	return 0, 0
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/isa"
@@ -59,19 +60,34 @@ type rchunk struct {
 // internal/experiments drive every replay path from many goroutines to
 // catch any consumer that violates it.
 type Recorder struct {
-	staged     []Record // current partially filled chunk, plain AoS
-	stagedSlab *recSlab // pooled backing storage of staged; returned at Seal
+	cols       *RecordColumns // column staging (default fused recording mode)
+	tailSlab   *recSlab       // scratch for materializing the column tail in replays
+	staged     []Record       // scalar-record staging (bit-identical reference mode)
+	stagedSlab *recSlab       // pooled backing storage of staged; returned at Seal
 	enc        *chunkEncoder
 	chunks     []rchunk
-	n          int64
+	nFlushed   int64 // records in flushed (encoded or encode-queued) chunks
 
 	memBudget     int64 // resident encoded-bytes budget; <=0 = fully resident
 	residentBytes int64 // encoded bytes currently held in memory
 	encodedBytes  int64 // encoded bytes total (resident + spilled)
 	maxChunkBytes int64 // largest encoded chunk, the unit of spill readback
 	spilledChunks int64
+	chunksEncoded int64
 	spill         *spillFile
 
+	// mu guards the encoded-chunk state above (chunks through spill) while
+	// the encode-ahead pipeline is live: appendEncoded runs on the encoder
+	// goroutine, the accessors on the recording thread. Once sealed (or on
+	// the sequential path) everything is synchronous and immutable.
+	mu sync.Mutex
+
+	ahead       *encodeAhead // background chunk encoder; nil on the sequential path
+	aheadOff    bool         // pipeline decision made: encode inline
+	stalls      atomic.Int64 // flushes that blocked waiting for a free stage
+	encodeNanos atomic.Int64 // cumulative chunk-encode wall time
+
+	scalarRecord bool // stage full Records and encode per record (reference implementation)
 	scalarReplay bool // force the per-record Consumer path (reference implementation)
 	sealed       bool
 	passes       atomic.Int64 // full replay passes over the buffer, for amortization accounting
@@ -96,29 +112,77 @@ func (rc *Recorder) SetMemBudget(bytes int64) { rc.memBudget = bytes }
 // vpserve expose. Set it before the Recorder is shared; replays only read it.
 func (rc *Recorder) SetScalarReplay(scalar bool) { rc.scalarReplay = scalar }
 
+// SetScalarRecord forces recording onto the scalar reference path: records
+// are staged as full Record structs and varint-encoded one at a time by
+// chunkEncoder.encode, exactly as before the fused column path existed. The
+// default column path (fused VM staging plus chunk-seal batch encoding and
+// the encode-ahead pipeline) is differentially tested to produce
+// byte-identical chunks; this switch is the escape hatch the -scalar-record
+// flags of vprun, vpreport and vpserve expose, and the reference the
+// equivalence suites diff against. Set it before the first Consume.
+func (rc *Recorder) SetScalarRecord(scalar bool) { rc.scalarRecord = scalar }
+
+// ChunksEncoded reports how many chunks have been encoded so far (resident
+// or spilled), the unit of the record-side observability metrics.
+func (rc *Recorder) ChunksEncoded() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.chunksEncoded
+}
+
+// EncodeStalls reports how many chunk flushes blocked waiting for the
+// encode-ahead pipeline to free a stage — the backpressure signal that the
+// encoder, not the execution loop, is the recording bottleneck.
+func (rc *Recorder) EncodeStalls() int64 { return rc.stalls.Load() }
+
+// EncodeTime reports the cumulative wall time spent encoding chunks
+// (whether inline or on the encode-ahead goroutine).
+func (rc *Recorder) EncodeTime() time.Duration {
+	return time.Duration(rc.encodeNanos.Load())
+}
+
 // Passes reports how many full replay passes have walked the recorded
 // buffer (Replay, ReplayDirs and MultiEval each count one, however many
 // consumers they fed). The single-pass sweep tests and the vpserve
 // amortization metrics read it.
 func (rc *Recorder) Passes() int64 { return rc.passes.Load() }
 
+// stagedLen returns the number of records in the staging tail (scalar or
+// column, whichever is active).
+func (rc *Recorder) stagedLen() int {
+	if rc.cols != nil {
+		return rc.cols.N
+	}
+	return len(rc.staged)
+}
+
 // Len returns the number of recorded records.
-func (rc *Recorder) Len() int64 { return rc.n }
+func (rc *Recorder) Len() int64 { return rc.nFlushed + int64(rc.stagedLen()) }
 
 // Bytes returns the approximate resident in-memory size of the recorded
 // trace: the encoded chunks still held in memory plus the staging buffer.
 // Spilled chunks do not count.
 func (rc *Recorder) Bytes() int64 {
-	return rc.residentBytes + int64(len(rc.staged))*recordMemBytes
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.residentBytes + int64(rc.stagedLen())*recordMemBytes
 }
 
 // EncodedBytes returns the total encoded size of all flushed chunks,
 // resident and spilled. Records still in the staging buffer (at most one
 // partial chunk; none once sealed) are not yet encoded.
-func (rc *Recorder) EncodedBytes() int64 { return rc.encodedBytes }
+func (rc *Recorder) EncodedBytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.encodedBytes
+}
 
 // BytesResident returns the encoded bytes currently held in memory.
-func (rc *Recorder) BytesResident() int64 { return rc.residentBytes }
+func (rc *Recorder) BytesResident() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.residentBytes
+}
 
 // ReplayResidentBytes returns the peak in-memory working set of one replay
 // pass over the flushed chunks: the resident encoded bytes plus, when any
@@ -127,6 +191,8 @@ func (rc *Recorder) BytesResident() int64 { return rc.residentBytes }
 // honest per-pass memory figure for a spilled trace, where BytesResident
 // alone would report a misleading zero.
 func (rc *Recorder) ReplayResidentBytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	b := rc.residentBytes
 	if rc.spilledChunks > 0 {
 		b += 2 * rc.maxChunkBytes
@@ -135,7 +201,11 @@ func (rc *Recorder) ReplayResidentBytes() int64 {
 }
 
 // SpilledChunks returns how many chunks were written to the spill file.
-func (rc *Recorder) SpilledChunks() int64 { return rc.spilledChunks }
+func (rc *Recorder) SpilledChunks() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.spilledChunks
+}
 
 // Seal marks recording complete: the staging buffer is encoded and released,
 // further Consume panics, and the Recorder may be replayed concurrently from
@@ -147,13 +217,31 @@ func (rc *Recorder) Seal() {
 	if rc.sealed {
 		return
 	}
+	if rc.ahead != nil {
+		// Stop the encode-ahead pipeline first: it drains every queued
+		// stage in order, so the inline tail encode below lands last.
+		rc.ahead.stop()
+		rc.ahead = nil
+	}
 	if len(rc.staged) > 0 {
 		rc.flushStaged()
+	}
+	if rc.cols != nil {
+		if rc.cols.N > 0 {
+			rc.nFlushed += int64(rc.cols.N)
+			rc.encodeStage(rc.encoder(), rc.cols)
+		}
+		putCols(rc.cols)
+		rc.cols = nil
 	}
 	rc.staged = nil
 	if rc.stagedSlab != nil {
 		putSlab(rc.stagedSlab)
 		rc.stagedSlab = nil
+	}
+	if rc.tailSlab != nil {
+		putSlab(rc.tailSlab)
+		rc.tailSlab = nil
 	}
 	if rc.enc != nil {
 		encoderPool.Put(rc.enc)
@@ -178,10 +266,24 @@ func (rc *Recorder) Close() error {
 	return err
 }
 
-// Consume implements Consumer by appending a copy of r.
+// Consume implements Consumer by appending a copy of r. On the default
+// column path the record is destructured straight into the staging columns
+// (so scalar producers and the fused VM loop share one representation); in
+// scalar-record mode it is staged as a full Record, the reference path.
 func (rc *Recorder) Consume(r *Record) {
 	if rc.sealed {
 		panic("trace: Consume on a sealed Recorder (recording after publication)")
+	}
+	if !rc.scalarRecord {
+		st := rc.cols
+		if st == nil {
+			st = rc.newStage()
+		}
+		st.appendRecord(r)
+		if st.N == st.Cap() {
+			rc.FlushColumns()
+		}
+		return
 	}
 	if rc.staged == nil {
 		// The ~0.9 MiB staging buffer comes from the replay slab pool (same
@@ -191,9 +293,106 @@ func (rc *Recorder) Consume(r *Record) {
 		rc.staged = rc.stagedSlab.recs[:0]
 	}
 	rc.staged = append(rc.staged, *r)
-	rc.n++
 	if len(rc.staged) == recorderChunkSize {
 		rc.flushStaged()
+	}
+}
+
+// newStage installs a fresh column stage positioned at the current stream
+// offset.
+func (rc *Recorder) newStage() *RecordColumns {
+	st := getCols()
+	st.FirstSeq = rc.nFlushed
+	rc.cols = st
+	return st
+}
+
+// ColumnStage implements ColumnAppender: it returns the live staging
+// columns for fused recording, or nil when the recorder is sealed or in
+// scalar-record mode (sending the producer down the per-record reference
+// path). The producer appends by writing element N of every column and
+// incrementing N, calling FlushColumns when N reaches Cap.
+func (rc *Recorder) ColumnStage() *RecordColumns {
+	if rc.sealed || rc.scalarRecord {
+		return nil
+	}
+	if rc.cols == nil {
+		return rc.newStage()
+	}
+	return rc.cols
+}
+
+// FlushColumns seals the filled column stage into one encoded chunk and
+// returns the stage to continue appending into. On multi-core machines the
+// stage is handed to the encode-ahead pipeline and a recycled stage comes
+// back immediately, overlapping execution with compression and spill
+// writes; single-core machines encode inline (same chunks, same order,
+// byte-identical output).
+func (rc *Recorder) FlushColumns() *RecordColumns {
+	st := rc.cols
+	if st == nil || st.N == 0 {
+		return rc.ColumnStage()
+	}
+	rc.nFlushed += int64(st.N)
+	if rc.pipeline() {
+		rc.ahead.submit(st)
+		st = rc.ahead.acquire(rc)
+		rc.cols = st
+	} else {
+		rc.encodeStage(rc.encoder(), st)
+		st.N = 0
+	}
+	st.FirstSeq = rc.nFlushed
+	return st
+}
+
+// FlushTail implements ColumnAppender. The Recorder buffers: the partial
+// stage stays staged (replayable as the tail, encoded at Seal), so there is
+// nothing to do.
+func (rc *Recorder) FlushTail() {}
+
+// pipeline reports whether chunk encoding runs on the encode-ahead
+// goroutine, starting it on first use. The pipeline only helps when another
+// CPU can run the encoder; at GOMAXPROCS=1 it is pure scheduling overhead,
+// so the flush encodes inline — the sequential fallback.
+func (rc *Recorder) pipeline() bool {
+	if rc.ahead != nil {
+		return true
+	}
+	if rc.aheadOff {
+		return false
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		rc.ahead = startEncodeAhead(rc)
+		return true
+	}
+	rc.aheadOff = true
+	return false
+}
+
+// encoder returns the recorder-owned chunk encoder, pooled across
+// Recorders.
+func (rc *Recorder) encoder() *chunkEncoder {
+	if rc.enc == nil {
+		rc.enc = encoderPool.Get().(*chunkEncoder)
+	}
+	return rc.enc
+}
+
+// encodeStage encodes one full column stage and retains or spills it.
+func (rc *Recorder) encodeStage(enc *chunkEncoder, st *RecordColumns) {
+	start := time.Now()
+	enc.buf = enc.encodeCols(enc.buf[:0], st, true)
+	rc.appendEncoded(enc.buf, st.N)
+	rc.encodeNanos.Add(int64(time.Since(start)))
+}
+
+// drainEncode blocks until every stage handed to the encode-ahead pipeline
+// has been encoded, so an unsealed replay (or the seal itself) observes all
+// flushed chunks. No-op on the sequential path.
+func (rc *Recorder) drainEncode() {
+	if rc.ahead != nil {
+		rc.ahead.drain()
 	}
 }
 
@@ -204,16 +403,27 @@ func (rc *Recorder) Consume(r *Record) {
 // right-sized chunk copy, measured by BenchmarkVMStepsRecording.
 var encoderPool = sync.Pool{New: func() any { return new(chunkEncoder) }}
 
-// flushStaged transposes the staging buffer into one encoded chunk,
-// retaining it resident or spilling it when past the memory budget.
+// flushStaged transposes the scalar staging buffer into one encoded chunk —
+// the per-record reference encoder of scalar-record mode.
 func (rc *Recorder) flushStaged() {
-	firstSeq := rc.n - int64(len(rc.staged))
-	if rc.enc == nil {
-		rc.enc = encoderPool.Get().(*chunkEncoder)
-	}
-	rc.enc.buf = rc.enc.encode(rc.enc.buf[:0], rc.staged, firstSeq, true)
-	data := rc.enc.buf
-	c := rchunk{size: int32(len(data)), n: int32(len(rc.staged))}
+	start := time.Now()
+	enc := rc.encoder()
+	enc.buf = enc.encode(enc.buf[:0], rc.staged, rc.nFlushed, true)
+	rc.nFlushed += int64(len(rc.staged))
+	rc.appendEncoded(enc.buf, len(rc.staged))
+	rc.encodeNanos.Add(int64(time.Since(start)))
+	rc.staged = rc.staged[:0]
+}
+
+// appendEncoded retains one encoded chunk resident — or spills it when past
+// the memory budget — and appends it to the chunk index. Called inline or
+// from the encode-ahead goroutine, always in stream order; mu makes the
+// bookkeeping safe against concurrent accessor reads while the pipeline is
+// live.
+func (rc *Recorder) appendEncoded(data []byte, n int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	c := rchunk{size: int32(len(data)), n: int32(n)}
 	rc.encodedBytes += int64(len(data))
 	if int64(len(data)) > rc.maxChunkBytes {
 		rc.maxChunkBytes = int64(len(data))
@@ -239,7 +449,23 @@ func (rc *Recorder) flushStaged() {
 		rc.residentBytes += int64(len(data))
 	}
 	rc.chunks = append(rc.chunks, c)
-	rc.staged = rc.staged[:0]
+	rc.chunksEncoded++
+}
+
+// tailRecords returns the partially filled staging tail as records: the
+// scalar staging buffer directly, or the column stage materialized into
+// pooled scratch (valid until the next Consume or flush). Sealed recorders
+// have no tail.
+func (rc *Recorder) tailRecords() []Record {
+	if rc.cols == nil || rc.cols.N == 0 {
+		return rc.staged
+	}
+	if rc.tailSlab == nil {
+		rc.tailSlab = getSlab()
+	}
+	out := rc.tailSlab.recs[:rc.cols.N]
+	rc.cols.materialize(out)
+	return out
 }
 
 // walkChunks streams every flushed chunk's encoded bytes through fn in
@@ -532,15 +758,17 @@ func (rc *Recorder) batchable(consumers []Consumer) []BatchConsumer {
 // Consume call, and consumers must not modify it.
 func (rc *Recorder) Replay(consumers ...Consumer) {
 	rc.passes.Add(1)
+	rc.drainEncode()
+	staged := rc.tailRecords()
 	if bcs := rc.batchable(consumers); bcs != nil {
 		rc.walkBatches(func(b *Batch) {
 			for _, c := range bcs {
 				c.ConsumeBatch(b)
 			}
 		})
-		for i := range rc.staged {
+		for i := range staged {
 			for _, c := range consumers {
-				c.Consume(&rc.staged[i])
+				c.Consume(&staged[i])
 			}
 		}
 		return
@@ -553,8 +781,8 @@ func (rc *Recorder) Replay(consumers ...Consumer) {
 				c.Consume(&recs[i])
 			}
 		})
-		for i := range rc.staged {
-			c.Consume(&rc.staged[i])
+		for i := range staged {
+			c.Consume(&staged[i])
 		}
 		return
 	}
@@ -565,9 +793,9 @@ func (rc *Recorder) Replay(consumers ...Consumer) {
 			}
 		}
 	})
-	for i := range rc.staged {
+	for i := range staged {
 		for _, c := range consumers {
-			c.Consume(&rc.staged[i])
+			c.Consume(&staged[i])
 		}
 	}
 }
@@ -581,6 +809,8 @@ func (rc *Recorder) Replay(consumers ...Consumer) {
 // keeping concurrent replays safe.
 func (rc *Recorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
 	rc.passes.Add(1)
+	rc.drainEncode()
+	staged := rc.tailRecords()
 	if bcs := rc.batchable(consumers); bcs != nil {
 		rc.walkBatches(func(b *Batch) {
 			// The Dir column is batch-owned decode scratch (rewritten on
@@ -591,8 +821,8 @@ func (rc *Recorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
 			}
 		})
 		var rec Record
-		for i := range rc.staged {
-			rec = rc.staged[i]
+		for i := range staged {
+			rec = staged[i]
 			if a := rec.Addr; a >= 0 && a < int64(len(dirs)) {
 				rec.Dir = dirs[a]
 			} else {
@@ -632,8 +862,8 @@ func (rc *Recorder) ReplayDirs(dirs []isa.Directive, consumers ...Consumer) {
 		}
 	})
 	var rec Record
-	for i := range rc.staged {
-		rec = rc.staged[i]
+	for i := range staged {
+		rec = staged[i]
 		patch(&rec)
 		if single != nil {
 			single.Consume(&rec)

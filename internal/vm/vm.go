@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/isa"
@@ -103,6 +104,12 @@ type decoded struct {
 	dir   isa.Directive
 	reads [2]trace.RegRead
 	imm   int64
+
+	// Precomputed trace-column bytes for the fused recording path: the
+	// packed source-operand reads and the flags byte's directive bits, in
+	// the chunk codec's layout (fused.go stores them verbatim).
+	r0, r1   byte
+	flagBase byte
 }
 
 // Machine is one execution of a program image.
@@ -155,13 +162,47 @@ func New(p *program.Program, cfg Config) (*Machine, error) {
 		prog: p,
 		cfg:  cfg,
 		dec:  predecode(p.Text),
-		mem:  make([]isa.Word, memWords),
+		mem:  getMem(memWords),
 		pc:   p.Entry,
 	}
 	copy(m.mem, p.Data)
 	// Conventional stack pointer: top of memory.
 	m.regs[isa.RegSP] = int64(memWords)
 	return m, nil
+}
+
+// memPool recycles memory images across machines. The image is by far a
+// machine's largest allocation (~8 MiB at the default heap size), and paying
+// mallocgcLarge — fresh pages faulted in, zeroed, then scavenged back — per
+// run dominates construction cost for the short executions the sweep drivers
+// and recording benchmarks issue back to back.
+var memPool sync.Pool
+
+// getMem returns a zeroed n-word memory image, reusing a pooled buffer when
+// one is large enough. Pooled buffers are always cleared before reuse: a
+// sandboxed guest (vpserve) must never observe a previous run's memory.
+func getMem(n int) []isa.Word {
+	if v := memPool.Get(); v != nil {
+		if buf := v.([]isa.Word); cap(buf) >= n {
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]isa.Word, n)
+}
+
+// Release returns the machine's memory image to the internal pool. The
+// machine must not be used afterwards (Mem faults, Run would fault on the
+// first access). Callers whose machine does not outlive the run — the
+// workload helpers, the pipeline drivers — use it to recycle the heap across
+// executions; callers that inspect memory after the run simply skip it.
+func (m *Machine) Release() {
+	if m.mem == nil {
+		return
+	}
+	memPool.Put(m.mem)
+	m.mem = nil
 }
 
 // predecode builds the dispatch table: one decoded entry per static
@@ -202,8 +243,24 @@ func predecode(text []isa.Instruction) []decoded {
 		case isa.OpFMOV, isa.OpFNEG, isa.OpFABS, isa.OpFSQRT, isa.OpFTOI:
 			d.reads[0] = fpRead(ins.Rs1)
 		}
+		d.r0 = packRegRead(d.reads[0])
+		d.r1 = packRegRead(d.reads[1])
+		d.flagBase = byte(ins.Dir) << 4
 	}
 	return dec
+}
+
+// packRegRead packs one source-operand read into the trace codec's byte
+// layout: bit7 Valid, bit6 FP, bits 0-5 the register number.
+func packRegRead(rd trace.RegRead) byte {
+	var b byte
+	if rd.Valid {
+		b = 0x80 | byte(rd.Reg)&0x3f
+		if rd.FP {
+			b |= 0x40
+		}
+	}
+	return b
 }
 
 // Attach registers a trace consumer; every subsequently retired instruction
@@ -243,6 +300,30 @@ func (m *Machine) Run() error {
 		events = 0 // no consumers, no events to bound
 	}
 	inject := faults.Active()
+	// Fused recording fast path: a single column-writing consumer (the
+	// Recorder's default mode, or a ColumnSink over a batch kernel) takes
+	// the dispatch loop that stores destructured record fields straight
+	// into staging columns — no Record materialization, no interface call
+	// per step. Fault injection needs its per-step hook, so an armed plan
+	// keeps the reference loop.
+	if !inject && len(m.consumers) == 1 {
+		switch c := m.consumers[0].(type) {
+		case trace.ColumnAppender:
+			if st := c.ColumnStage(); st != nil {
+				err := m.runFused(c, st, budget, fuel, events)
+				c.FlushTail()
+				return err
+			}
+		case trace.BatchConsumer:
+			// Batch kernels (profiler collectors, ILP engines) get the
+			// fused loop through a column sink that hands them whole
+			// staged chunks instead of one record per step.
+			sink := trace.NewColumnSink(c)
+			err := m.runFused(sink, sink.ColumnStage(), budget, fuel, events)
+			sink.Close()
+			return err
+		}
+	}
 	for !m.halted {
 		if m.seq >= budget {
 			return fmt.Errorf("%w (%d instructions, pc=%d)", ErrBudget, m.seq, m.pc)

@@ -163,6 +163,7 @@ func RunConfig(p *program.Program, cfg vm.Config, consumers ...trace.Consumer) (
 	if err != nil {
 		return 0, err
 	}
+	defer m.Release()
 	for _, c := range consumers {
 		m.Attach(c)
 	}

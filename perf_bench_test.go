@@ -64,6 +64,30 @@ func BenchmarkVMStepsRecording(b *testing.B) {
 	reportMIPS(b, total)
 }
 
+// BenchmarkVMStepsRecordingScalar measures the same recording run forced
+// onto the scalar per-record reference path (-scalar-record). The ratio
+// scalar/fused is the recording speedup bench_smoke.sh gates on — a
+// machine-independent measure of what the fused execute+encode path buys.
+func BenchmarkVMStepsRecordingScalar(b *testing.B) {
+	prog, err := workload.Build("compress", workload.EvaluationInput())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		rec := trace.NewRecorder()
+		rec.SetScalarRecord(true)
+		n, err := workload.Run(prog, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.StopTimer()
+	reportMIPS(b, total)
+}
+
 // BenchmarkReplayVsReexecute compares feeding one consumer (the profile
 // collector) from a live re-execution against a replay of the recorded
 // trace — the per-configuration cost the threshold-sweep drivers pay.

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Runs the key simulation-throughput benchmarks with -benchmem and emits a
 # machine-readable BENCH_report.json so the perf trajectory can be tracked
-# across PRs. The report sections: "benchmarks" (simulation substrate +
-# experiment drivers), "speedups" (paired baseline-vs-optimized ratios),
-# "trace_storage" (columnar compression byte counts), "batch_kernels"
-# (scalar vs batch replay ns/rec + speedup ratios), "server" (vpserve
-# throughput, requests/sec for cached vs uncached evaluate calls), and
-# "cluster" (vpcoord sharded-sweep throughput at one vs two worker nodes).
+# across PRs. The report sections: "machine" (the hardware/Go view the
+# timings came from; the smoke gates read num_cpu from here), "benchmarks"
+# (simulation substrate + experiment drivers), "speedups" (paired
+# baseline-vs-optimized ratios), "trace_storage" (columnar compression byte
+# counts), "batch_kernels" (scalar vs batch replay ns/rec + speedup ratios),
+# "recording" (fused vs scalar-record execute+encode ns/op + speedup),
+# "server" (vpserve throughput, requests/sec for cached vs uncached evaluate
+# calls), and "cluster" (vpcoord sharded-sweep throughput at one vs two
+# worker nodes).
 # Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_report.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkTraceStore|BenchmarkBatchKernels|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
+BENCHMARKS="${BENCHMARKS:-^(BenchmarkVMSteps|BenchmarkVMStepsRecording|BenchmarkVMStepsRecordingScalar|BenchmarkReplayVsReexecute|BenchmarkThresholdSweep|BenchmarkMultiEvalSweep|BenchmarkTraceStore|BenchmarkBatchKernels|BenchmarkAllArtifactsParallel|BenchmarkVMExecution|BenchmarkFigure51And52|BenchmarkTable51|BenchmarkFigure53And54|BenchmarkTable52)\$}"
 SERVER_BENCHMARKS="${SERVER_BENCHMARKS:-^(BenchmarkServerEvaluateCached|BenchmarkServerEvaluateCachedParallel|BenchmarkServerEvaluateUncached)\$}"
 CLUSTER_BENCHMARKS="${CLUSTER_BENCHMARKS:-^BenchmarkClusterSweep\$}"
 
@@ -126,6 +129,50 @@ END {
 ' "$1"
 }
 
+# Summarize the recording path: the fused execute+encode column path
+# (BenchmarkVMStepsRecording, the default) against the scalar per-record
+# reference (BenchmarkVMStepsRecordingScalar). Both legs execute the same
+# guest on the same machine, so the ns/op ratio is the machine-independent
+# recording speedup bench_smoke.sh gates on.
+emit_recording() {
+    awk '
+/^BenchmarkVMStepsRecording(Scalar)?(-[0-9]+)?[ \t]/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "Minstr/s") minstr[name] = $i
+    }
+}
+END {
+    fused = ns["BenchmarkVMStepsRecording"]
+    scalar = ns["BenchmarkVMStepsRecordingScalar"]
+    if (fused == "" || scalar == "" || fused + 0 == 0) exit
+    printf "    \"ns_per_op_fused\": %s,\n", fused
+    printf "    \"ns_per_op_scalar\": %s,\n", scalar
+    if (minstr["BenchmarkVMStepsRecording"] != "")
+        printf "    \"minstr_per_s_fused\": %s,\n", minstr["BenchmarkVMStepsRecording"]
+    if (minstr["BenchmarkVMStepsRecordingScalar"] != "")
+        printf "    \"minstr_per_s_scalar\": %s,\n", minstr["BenchmarkVMStepsRecordingScalar"]
+    printf "    \"recording_speedup\": %.3f\n", scalar / fused
+}
+' "$1"
+}
+
+# Emit the machine section: where this report's timings came from. The smoke
+# gates read num_cpu from here (rather than re-probing CI hardware) to decide
+# which multi-core-only ratios the committed numbers can legitimately back.
+emit_machine() {
+    go run ./scripts/benchmeta 2>/dev/null || {
+        # Fallback without the helper: shell out for each field.
+        printf '    "go_version": "%s",\n' "$(go env GOVERSION)"
+        printf '    "os": "%s",\n' "$(go env GOOS)"
+        printf '    "arch": "%s",\n' "$(go env GOARCH)"
+        printf '    "num_cpu": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+        printf '    "gomaxprocs": %s\n' "${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+    }
+}
+
 # Convert `go test -bench` output lines into a JSON array body:
 #   BenchmarkFoo/bar-8  10  123 ns/op  45.6 Minstr/s  678 B/op  9 allocs/op
 emit_entries() {
@@ -174,7 +221,10 @@ END {
 
 {
     echo "{"
-    echo "  \"schema\": \"bench-report/v6\","
+    echo "  \"schema\": \"bench-report/v7\","
+    echo "  \"machine\": {"
+    emit_machine
+    echo "  },"
     echo "  \"benchmarks\": ["
     emit_entries "$RAW_SIM"
     echo "  ],"
@@ -186,6 +236,9 @@ END {
     echo "  },"
     echo "  \"batch_kernels\": {"
     emit_batch_kernels "$RAW_SIM"
+    echo "  },"
+    echo "  \"recording\": {"
+    emit_recording "$RAW_SIM"
     echo "  },"
     echo "  \"server\": ["
     emit_entries "$RAW_SRV"

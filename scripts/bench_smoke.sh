@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI bench smoke for the replay substrate. Three benchmark runs, five gates:
+# CI bench smoke for the replay substrate. Five benchmark runs, seven gates:
 #
 #   1. Single-pass sweep: BenchmarkMultiEvalSweep's multieval-vs-separate
 #      walkonly speedup must not regress more than MAX_REGRESSION_PCT versus
@@ -19,11 +19,21 @@
 #      ns/rec ratio must stay ≥ MIN_BATCH_SPEEDUP outright (the PR-level
 #      acceptance bar) and must not regress more than MAX_REGRESSION_PCT
 #      versus the committed report's walkonly_speedup.
+#   6. Fused recording: the BenchmarkVMStepsRecordingScalar-vs-
+#      BenchmarkVMStepsRecording ns/op ratio (scalar reference over the fused
+#      execute+encode column path) must stay ≥ MIN_RECORD_SPEEDUP outright
+#      and must not regress more than MAX_REGRESSION_PCT versus the committed
+#      report's recording_speedup.
+#   7. Experiment-driver allocations: BenchmarkFigure51And52's allocs/op —
+#      a deterministic count, not a timing — must not exceed the committed
+#      report's value by more than MAX_ALLOC_GROWTH_PCT.
 #
 # Ratio gates compare the speedup RATIO, not raw ns/op — the committed
 # report comes from a different machine than CI, so absolute times are
 # incomparable while a ratio (same trace, same binary, same machine) isolates
-# the property itself. Usage:
+# the property itself. Machine-dependent gate decisions (which multi-core
+# ratios the committed numbers can back) read the committed report's own
+# "machine" section rather than re-probing CI hardware. Usage:
 #
 #   scripts/bench_smoke.sh [BENCH_report.json]
 #
@@ -38,6 +48,10 @@
 #                      a full decode-ahead pipeline (default 5)
 #   MIN_BATCH_SPEEDUP  absolute floor for the batch-kernel walkonly
 #                      scalar/batch ratio (default 2.0)
+#   MIN_RECORD_SPEEDUP absolute floor for the scalar/fused recording ns/op
+#                      ratio (default 1.6, the record-path acceptance bar)
+#   MAX_ALLOC_GROWTH_PCT allowed allocs/op growth for BenchmarkFigure51And52
+#                      versus the committed report (default 10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +61,8 @@ BENCHCOUNT="${BENCHCOUNT:-5}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-20}"
 MAX_WALK_GAP_PCT="${MAX_WALK_GAP_PCT:-5}"
 MIN_BATCH_SPEEDUP="${MIN_BATCH_SPEEDUP:-2.0}"
+MIN_RECORD_SPEEDUP="${MIN_RECORD_SPEEDUP:-1.6}"
+MAX_ALLOC_GROWTH_PCT="${MAX_ALLOC_GROWTH_PCT:-10}"
 
 committed_speedup() {
     grep -o "\"baseline\": \"$1\", \"optimized\": \"$2\", \"speedup_vs_sequential\": [0-9.]*" "$REPORT" \
@@ -57,18 +73,32 @@ committed_multi=$(committed_speedup walkonly-separate walkonly-multieval)
 committed_walk=$(committed_speedup walk-aos walk-columnar)
 committed_spill=$(committed_speedup walk-spill walk-columnar)
 committed_batch=$(grep -o '"walkonly_speedup": [0-9.]*' "$REPORT" | head -1 | awk '{print $NF}')
-if [[ -z "$committed_multi" || -z "$committed_walk" || -z "$committed_spill" || -z "$committed_batch" ]]; then
+committed_record=$(grep -o '"recording_speedup": [0-9.]*' "$REPORT" | head -1 | awk '{print $NF}')
+committed_allocs=$(grep -o '"name": "BenchmarkFigure51And52"[^}]*' "$REPORT" | grep -o '"allocs/op": [0-9]*' | head -1 | awk '{print $NF}')
+if [[ -z "$committed_multi" || -z "$committed_walk" || -z "$committed_spill" || -z "$committed_batch" || -z "$committed_record" || -z "$committed_allocs" ]]; then
     echo "bench_smoke: missing committed speedups in $REPORT (run scripts/bench.sh)" >&2
     exit 1
+fi
+
+# The committed ratios came from the machine described in the report's own
+# metadata; machine-conditional gates key off it, not off a re-probe of the
+# CI box (a v6 report without the section falls back to probing).
+NCPU=$(grep -o '"num_cpu": [0-9]*' "$REPORT" | head -1 | awk '{print $NF}')
+if [[ -z "$NCPU" ]]; then
+    NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 fi
 
 RAW_MULTI="$(mktemp)"
 RAW_STORE="$(mktemp)"
 RAW_BATCH="$(mktemp)"
-trap 'rm -f "$RAW_MULTI" "$RAW_STORE" "$RAW_BATCH"' EXIT
+RAW_REC="$(mktemp)"
+RAW_ALLOC="$(mktemp)"
+trap 'rm -f "$RAW_MULTI" "$RAW_STORE" "$RAW_BATCH" "$RAW_REC" "$RAW_ALLOC"' EXIT
 go test -run '^$' -bench '^BenchmarkMultiEvalSweep/walkonly' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_MULTI"
 go test -run '^$' -bench '^BenchmarkTraceStore$' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_STORE"
 go test -run '^$' -bench '^BenchmarkBatchKernels/walkonly' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_BATCH"
+go test -run '^$' -bench '^(BenchmarkVMStepsRecording|BenchmarkVMStepsRecordingScalar)$' -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$RAW_REC"
+go test -run '^$' -bench '^BenchmarkFigure51And52$' -benchmem -benchtime 2x . | tee "$RAW_ALLOC"
 
 # Gate 1: the pass-merging machinery. The walkonly pair isolates it from
 # predictor-table work, so its ratio is stable where the engine pair's is
@@ -91,7 +121,6 @@ END {
 }' "$RAW_MULTI"
 
 # Gates 2–4: the columnar trace store.
-NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 awk -v committed_walk="$committed_walk" -v committed_spill="$committed_spill" \
     -v max="$MAX_REGRESSION_PCT" -v walkgap="$MAX_WALK_GAP_PCT" -v ncpu="$NCPU" '
 /^BenchmarkTraceStore\// {
@@ -185,5 +214,53 @@ END {
         printf "bench_smoke: FAIL — batch kernels regressed more than %s%% vs the committed ratio\n", max > "/dev/stderr"
         exit 1
     }
-    print "bench_smoke: OK"
 }' "$RAW_BATCH"
+
+# Gate 6: the fused recording path. Both legs execute the same guest into the
+# same Recorder shape; the scalar/fused ns/op ratio isolates the record-path
+# overhaul's win and must clear the absolute acceptance bar AND not regress
+# versus the committed report.
+awk -v committed="$committed_record" -v max="$MAX_REGRESSION_PCT" -v minratio="$MIN_RECORD_SPEEDUP" '
+/^BenchmarkVMStepsRecording(-[0-9]+)?[ \t]/       { if (fused == "" || $3 + 0 < fused + 0) fused = $3 }
+/^BenchmarkVMStepsRecordingScalar(-[0-9]+)?[ \t]/ { if (scalar == "" || $3 + 0 < scalar + 0) scalar = $3 }
+END {
+    if (fused == "" || scalar == "" || fused + 0 == 0) {
+        print "bench_smoke: recording benchmarks produced no ns/op numbers" > "/dev/stderr"
+        exit 1
+    }
+    cur = scalar / fused
+    floor = committed * (1 - max / 100)
+    printf "bench_smoke: fused recording speedup %.3fx (committed %.3fx, floor %.3fx, absolute bar %.2fx)\n", cur, committed, floor, minratio
+    if (cur < minratio + 0) {
+        printf "bench_smoke: FAIL — fused recording speedup below the %.2fx acceptance bar\n", minratio > "/dev/stderr"
+        exit 1
+    }
+    if (cur < floor) {
+        printf "bench_smoke: FAIL — fused recording regressed more than %s%% vs the committed ratio\n", max > "/dev/stderr"
+        exit 1
+    }
+}' "$RAW_REC"
+
+# Gate 7: experiment-driver allocations. allocs/op is a deterministic count
+# (modulo pool warmup on the first iteration), so it compares across machines
+# where timings cannot; growth past the committed value means a pooled or
+# arena'd path started allocating again.
+awk -v committed="$committed_allocs" -v max="$MAX_ALLOC_GROWTH_PCT" '
+/^BenchmarkFigure51And52(-[0-9]+)?[ \t]/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+}
+END {
+    if (allocs == "") {
+        print "bench_smoke: BenchmarkFigure51And52 produced no allocs/op" > "/dev/stderr"
+        exit 1
+    }
+    ceiling = committed * (1 + max / 100)
+    printf "bench_smoke: Figure51And52 allocations %d allocs/op (committed %d, ceiling %.0f)\n", allocs, committed, ceiling
+    if (allocs + 0 > ceiling) {
+        printf "bench_smoke: FAIL — experiment-driver allocations grew more than %s%%\n", max > "/dev/stderr"
+        exit 1
+    }
+    print "bench_smoke: OK"
+}' "$RAW_ALLOC"

@@ -1,0 +1,19 @@
+// Command benchmeta prints the machine-metadata JSON body of the bench
+// report (bench-report/v7 "machine" section): the Go view of the hardware the
+// benchmark timings came from. bench.sh embeds its output verbatim;
+// bench_smoke.sh reads num_cpu back out of the committed report to decide
+// which multi-core-only gates the committed ratios can legitimately back.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Printf("    %q: %q,\n", "go_version", runtime.Version())
+	fmt.Printf("    %q: %q,\n", "os", runtime.GOOS)
+	fmt.Printf("    %q: %q,\n", "arch", runtime.GOARCH)
+	fmt.Printf("    %q: %d,\n", "num_cpu", runtime.NumCPU())
+	fmt.Printf("    %q: %d\n", "gomaxprocs", runtime.GOMAXPROCS(0))
+}
